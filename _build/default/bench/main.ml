@@ -1,0 +1,94 @@
+(* Benchmark harness.
+
+   Two parts, as required for the reproduction:
+
+   1. Regenerate every table and figure of the paper's evaluation with the
+      paper's parameters and print them (the "figures" below);
+   2. Register one Bechamel [Test.make] per experiment, measuring the
+      simulator itself on scaled-down instances (so the mono-clock numbers
+      are host-side costs of regenerating each figure, suitable for
+      tracking simulator performance regressions).
+
+   `dune exec bench/main.exe` runs both.  Pass `--bechamel-only` or
+   `--figures-only` to run half. *)
+
+open Bechamel
+open Toolkit
+module Runner = M3v.Exp_runner
+
+let figures () =
+  Format.printf "@.######## Paper evaluation: all tables and figures ########@.";
+  Runner.all ();
+  Format.printf "@.######## End of paper evaluation ########@.@."
+
+(* --- scaled-down experiment instances for the Bechamel tests --- *)
+
+let fig6_small () = ignore (M3v.Exp_fig6.run ~rounds:60 ())
+let fig7_small () = ignore (M3v.Exp_fig7.run ~runs:1 ~warmup:0 ~file_size:(256 * 1024) ())
+let fig8_small () = ignore (M3v.Exp_fig8.run ~runs:5 ~warmup:1 ())
+
+let fig9_small () =
+  ignore (M3v.Exp_fig9.run ~runs:1 ~warmup:0 ~tile_counts:[ 1; 2 ] ())
+
+let fig10_small () = ignore (M3v.Exp_fig10.run ~runs:1 ~warmup:0 ~records:40 ~operations:40 ())
+let voice_small () = ignore (M3v.Exp_voice.run ~runs:1 ~warmup:0 ~audio_seconds:4.0 ())
+let table1_bench () = ignore (M3v.Exp_table1.run ())
+
+(* Micro-level simulator benchmarks: cost of the core primitives. *)
+let sim_rpc_m3v () =
+  let open M3v in
+  let r =
+    Exp_fig6.run ~rounds:40 ()
+  in
+  ignore r
+
+let tests =
+  [
+    Test.make ~name:"table1_area" (Staged.stage table1_bench);
+    Test.make ~name:"fig6_rpc" (Staged.stage fig6_small);
+    Test.make ~name:"fig7_fs" (Staged.stage fig7_small);
+    Test.make ~name:"fig8_udp" (Staged.stage fig8_small);
+    Test.make ~name:"fig9_scale" (Staged.stage fig9_small);
+    Test.make ~name:"voice_assistant" (Staged.stage voice_small);
+    Test.make ~name:"fig10_ycsb" (Staged.stage fig10_small);
+    Test.make ~name:"sim_rpc_m3v" (Staged.stage sim_rpc_m3v);
+    Test.make ~name:"ablation_extent"
+      (Staged.stage (fun () -> ignore (M3v.Ablations.extent_size ~caps:[ 8; 64 ] ())));
+  ]
+
+let bechamel () =
+  Format.printf "######## Bechamel: simulator cost per experiment ########@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:12 ~quota:(Time.second 2.0) ~stabilize:false
+      ~kde:(Some 16) ()
+  in
+  let results =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let analysis =
+          Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                         ~predictors:[| Measure.run |])
+            (Instance.monotonic_clock) results
+        in
+        (Test.name test, analysis))
+      tests
+  in
+  Format.printf "  %-18s %16s@." "experiment" "host ns/run";
+  List.iter
+    (fun (name, analysis) ->
+      Hashtbl.iter
+        (fun _ ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Format.printf "  %-18s %16.0f@." name est
+          | Some [] | None -> Format.printf "  %-18s %16s@." name "n/a")
+        analysis)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let figures_only = List.mem "--figures-only" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  if not bechamel_only then figures ();
+  if not figures_only then bechamel ()

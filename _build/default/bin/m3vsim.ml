@@ -1,0 +1,73 @@
+(* m3vsim: run the paper's experiments and print each table/figure.
+
+   Usage: m3vsim <experiment> [options], or `m3vsim all`. *)
+
+open Cmdliner
+
+let run_fig6 rounds = M3v.Exp_runner.fig6 ~rounds
+let rounds =
+  let doc = "Measured RPC round trips." in
+  Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
+
+let fig6_cmd =
+  Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: local/remote RPC vs Linux primitives")
+    Term.(const run_fig6 $ rounds)
+
+let runs =
+  let doc = "Measured repetitions." in
+  Arg.(value & opt int 0 & info [ "runs" ] ~doc)
+
+let fig7_cmd =
+  Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: file read/write throughput")
+    Term.(const (fun runs -> M3v.Exp_runner.fig7 ~runs) $ runs)
+
+let fig8_cmd =
+  Cmd.v (Cmd.info "fig8" ~doc:"Figure 8: UDP latency")
+    Term.(const (fun runs -> M3v.Exp_runner.fig8 ~runs) $ runs)
+
+let fig9_cmd =
+  Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
+    Term.(const (fun runs -> M3v.Exp_runner.fig9 ~runs) $ runs)
+
+let fig10_cmd =
+  Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
+    Term.(const (fun runs -> M3v.Exp_runner.fig10 ~runs) $ runs)
+
+let voice_cmd =
+  Cmd.v (Cmd.info "voice" ~doc:"Section 6.5.1: voice assistant sharing overhead")
+    Term.(const (fun runs -> M3v.Exp_runner.voice ~runs) $ runs)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
+    Term.(const M3v.Exp_runner.table1 $ const ())
+
+let complexity_cmd =
+  Cmd.v (Cmd.info "complexity" ~doc:"Section 6.1: software complexity (SLOC)")
+    Term.(const M3v.Exp_runner.complexity $ const ())
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Ablation studies: extent cap, TLB size, topology, M3x state")
+    Term.(const M3v.Exp_runner.ablations $ const ())
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (paper evaluation order)")
+    Term.(const M3v.Exp_runner.all $ const ())
+
+let () =
+  let info = Cmd.info "m3vsim" ~doc:"M3v reproduction: experiment runner" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig6_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            fig9_cmd;
+            fig10_cmd;
+            voice_cmd;
+            table1_cmd;
+            complexity_cmd;
+            ablations_cmd;
+            all_cmd;
+          ]))

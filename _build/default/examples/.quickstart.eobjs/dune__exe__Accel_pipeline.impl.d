@@ -1,0 +1,1 @@
+examples/accel_pipeline.ml: Buffer Bytes Char Format List M3v M3v_dtu M3v_kernel M3v_mux M3v_os M3v_sim M3v_tile Option

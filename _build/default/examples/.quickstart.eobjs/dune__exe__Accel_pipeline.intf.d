@@ -1,0 +1,1 @@
+examples/accel_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/cloud_kv.ml: Bytes Format List M3v M3v_apps M3v_mux M3v_os M3v_sim Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format M3v M3v_dtu M3v_mux M3v_noc M3v_sim M3v_tile

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Format List M3v M3v_apps

@@ -1,0 +1,1 @@
+examples/voice_pipeline.ml: Array Format M3v Sys

@@ -1,0 +1,81 @@
+(* The cloud half of the voice-activation system: an LSM key-value store
+   (the leveldb stand-in) running against m3fs on M3v, serving a YCSB
+   workload and shipping results to the peer machine over UDP.
+
+   Run with: dune exec examples/cloud_kv.exe *)
+
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module Rng = M3v_sim.Rng
+module System = M3v.System
+module Services = M3v.Services
+module Kvstore = M3v_apps.Kvstore
+module Ycsb = M3v_apps.Ycsb
+module Nic = M3v_os.Nic
+
+let records = 100
+let operations = 150
+
+let () =
+  let sys = System.create ~variant:System.M3v () in
+  ignore (System.with_pager sys ~tile:4);
+  let fs = Services.make_fs sys ~tile:3 ~blocks:8192 () in
+  let net = Services.make_net sys ~host:Nic.Sink () in
+  let rng = Rng.create ~seed:2024 in
+  let load = Ycsb.load ~records ~value_size:512 rng in
+  let ops = Ycsb.ops Ycsb.Mixed ~records ~count:operations rng in
+  let vfs_box = ref None and udp_box = ref None in
+  let stats = ref (0, 0, Time.zero) in
+  let db, env =
+    System.spawn sys ~tile:2 ~name:"db" ~premap:false (fun _ ->
+        let vfs = Option.get !vfs_box in
+        let udp = Option.get !udp_box in
+        let* sock = udp.M3v_os.Net_client.u_socket () in
+        let* store = Kvstore.create ~vfs ~dir:"/db" () in
+        let store = match store with Ok s -> s | Error e -> failwith e in
+        let* t0 = M3v_mux.Act_api.now in
+        let* () =
+          Proc.iter_list (fun (key, value) -> Kvstore.put store ~key ~value) load
+        in
+        let hits = ref 0 in
+        let* () =
+          Proc.iter_list
+            (fun op ->
+              match op with
+              | Ycsb.Read key ->
+                  let* v = Kvstore.get store ~key in
+                  if v <> None then incr hits;
+                  Proc.return ()
+              | Ycsb.Insert (key, value) | Ycsb.Update (key, value) ->
+                  Kvstore.put store ~key ~value
+              | Ycsb.Scan (key, count) ->
+                  let* items = Kvstore.scan store ~start:key ~count in
+                  let* () =
+                    udp.M3v_os.Net_client.u_sendto sock (1, 9000)
+                      (Bytes.of_string (Printf.sprintf "scan:%d" (List.length items)))
+                  in
+                  if items <> [] then incr hits;
+                  Proc.return ())
+            ops
+        in
+        let* t1 = M3v_mux.Act_api.now in
+        stats := (!hits, Kvstore.sstable_count store, Time.sub t1 t0);
+        Proc.return ())
+  in
+  vfs_box := Some (M3v_os.Fs_client.to_vfs (fs.Services.connect db env));
+  udp_box := Some (M3v_os.Net_client.to_udp (net.Services.net_connect db env));
+  System.boot sys;
+  ignore (System.run sys);
+  let hits, tables, elapsed = !stats in
+  Format.printf "cloud_kv: %d records loaded, %d YCSB ops executed on M3v@."
+    records operations;
+  Format.printf "  simulated runtime:   %a@." Time.pp elapsed;
+  Format.printf "  throughput:          %.0f ops/s (80 MHz BOOM)@."
+    (float_of_int operations /. Time.to_s elapsed);
+  Format.printf "  hits:                %d, SSTables: %d@." hits tables;
+  let m = M3v_os.M3fs.stats fs.Services.fs_handle in
+  Format.printf "  m3fs: %d ops, %d extents granted, %d blocks cleared@."
+    m.M3v_os.M3fs.ops m.M3v_os.M3fs.extents_granted m.M3v_os.M3fs.blocks_cleared;
+  let n = M3v_os.Nic.stats net.Services.nic in
+  Format.printf "  NIC: %d frames sent to the peer@." n.M3v_os.Nic.tx

@@ -1,0 +1,65 @@
+(* Quickstart: build an M3v system, spawn two activities on different
+   tiles, establish a channel through the controller, and measure no-op
+   RPC round trips over the vDTU fast path.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module A = M3v_mux.Act_api
+module Msg = M3v_dtu.Msg
+module System = M3v.System
+
+(* Application-level protocol: one constructor per message kind. *)
+type Msg.data += Ping of int | Pong of int
+
+let rounds = 200
+
+(* The server: answer [rounds] pings with pongs. *)
+let server_program rgate _env =
+  Proc.repeat rounds (fun _ ->
+      let* _ep, msg = A.recv ~eps:[ !rgate ] in
+      let x = match msg.Msg.data with Ping x -> x | _ -> failwith "bad ping" in
+      A.reply ~recv_ep:!rgate ~msg ~size:8 (Pong (x + 1)))
+
+(* The client: send pings, check pongs, time the loop. *)
+let client_program chan result _env =
+  let sgate, reply_ep = !chan in
+  let* t0 = A.now in
+  let* () =
+    Proc.repeat rounds (fun i ->
+        let* reply = A.call ~sgate ~reply_ep ~size:8 (Ping i) in
+        match reply.Msg.data with
+        | Pong x when x = i + 1 -> Proc.return ()
+        | _ -> failwith "bad pong")
+  in
+  let* t1 = A.now in
+  result := Time.sub t1 t0;
+  Proc.return ()
+
+let () =
+  (* The paper's FPGA platform: controller on a Rocket tile, BOOM user
+     tiles, two DRAM tiles, a 2x2 star-mesh NoC. *)
+  let sys = System.create ~variant:System.M3v () in
+  let rgate = ref (-1) in
+  let chan = ref (-1, -1) in
+  let elapsed = ref Time.zero in
+  let server, _ = System.spawn sys ~tile:2 ~name:"server" (server_program rgate) in
+  let client, _ =
+    System.spawn sys ~tile:3 ~name:"client" (client_program chan elapsed)
+  in
+  (* Only the controller can establish communication channels. *)
+  let ch = System.channel sys ~src:client ~dst:server () in
+  rgate := ch.System.rgate;
+  chan := (ch.System.sgate, ch.System.reply_ep);
+  System.boot sys;
+  ignore (System.run sys);
+  Format.printf "quickstart: %d RPC round trips on %s@." rounds
+    (match System.variant sys with M3v -> "M3v" | M3x -> "M3x");
+  Format.printf "  total simulated time: %a@." Time.pp !elapsed;
+  Format.printf "  per RPC:              %a (%.0f cycles at 80 MHz)@." Time.pp
+    (!elapsed / rounds)
+    (Time.to_us (!elapsed / rounds) *. 80.0);
+  let stats = M3v_noc.Noc.stats (M3v_tile.Platform.noc (System.platform sys)) in
+  Format.printf "  NoC packets:          %d@." stats.M3v_noc.Noc.packets

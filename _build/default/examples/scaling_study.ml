@@ -1,0 +1,27 @@
+(* A miniature of the paper's Figure 9: run the context-switch-heavy
+   "find" trace on 1, 2 and 4 tiles under both multiplexing designs and
+   watch M3x's centralized controller saturate while M3v scales.
+
+   Run with: dune exec examples/scaling_study.exe *)
+
+module Trace = M3v_apps.Trace
+module System = M3v.System
+
+let () =
+  let trace = Trace.find_trace ~dirs:8 ~files_per_dir:20 () in
+  Format.printf "scaling study: '%s' trace, %d fs calls per run@."
+    trace.Trace.name (Trace.rpc_count trace);
+  Format.printf "  %-6s %12s %12s %9s@." "tiles" "M3v runs/s" "M3x runs/s" "speedup";
+  List.iter
+    (fun tiles ->
+      let m3v =
+        M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles ~runs:2 ~warmup:1
+      in
+      let m3x =
+        M3v.Exp_fig9.throughput ~variant:System.M3x ~trace ~tiles ~runs:2 ~warmup:1
+      in
+      Format.printf "  %-6d %12.1f %12.1f %8.1fx@." tiles m3v m3x (m3v /. m3x))
+    [ 1; 2; 4 ];
+  Format.printf
+    "  (M3v switches tile-locally in TileMux; M3x funnels every switch@.";
+  Format.printf "   through the single controller and stops scaling.)@."

@@ -1,0 +1,1 @@
+lib/apps/audio.ml: Array Bytes Float M3v_sim

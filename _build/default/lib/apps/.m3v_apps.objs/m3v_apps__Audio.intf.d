@@ -1,0 +1,1 @@
+lib/apps/audio.mli: M3v_sim

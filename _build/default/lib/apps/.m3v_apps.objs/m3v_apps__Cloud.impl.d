@@ -1,0 +1,1 @@
+lib/apps/cloud.ml: Buffer Bytes Int32 Kvstore List M3v_mux M3v_os M3v_sim Printf String Ycsb

@@ -1,0 +1,1 @@
+lib/apps/flac.ml: Array Buffer Bytes Char List

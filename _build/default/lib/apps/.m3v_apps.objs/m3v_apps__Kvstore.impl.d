@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Array Buffer Bytes Int32 List M3v_mux M3v_os M3v_sim Map Printf Seq String

@@ -1,0 +1,1 @@
+lib/apps/kvstore.mli: M3v_os M3v_sim

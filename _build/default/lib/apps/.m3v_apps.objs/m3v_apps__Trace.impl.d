@@ -1,0 +1,1 @@
+lib/apps/trace.ml: Fun List Printf

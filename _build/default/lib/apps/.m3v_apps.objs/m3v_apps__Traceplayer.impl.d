@@ -1,0 +1,1 @@
+lib/apps/traceplayer.ml: Bytes Lazy List M3v_mux M3v_os M3v_sim Trace

@@ -1,0 +1,1 @@
+lib/apps/traceplayer.mli: Lazy M3v_mux M3v_os M3v_sim Trace

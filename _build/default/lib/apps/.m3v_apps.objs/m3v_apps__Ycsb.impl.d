@@ -1,0 +1,1 @@
+lib/apps/ycsb.ml: Bytes Char List M3v_sim Printf

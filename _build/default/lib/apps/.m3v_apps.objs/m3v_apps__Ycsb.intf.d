@@ -1,0 +1,1 @@
+lib/apps/ycsb.mli: M3v_sim

@@ -1,0 +1,20 @@
+(** Synthetic audio for the voice-assistant scenario (paper, 6.5.1).
+
+    16-bit mono PCM: background room noise with occasional louder
+    voice-like bursts that the trigger scanner detects.  Deterministic
+    given the generator seed. *)
+
+type t = { sample_rate : int; samples : int array }
+
+(** [room_audio rng ~seconds ~sample_rate ~burst_every] synthesizes audio
+    with a voice burst roughly every [burst_every] seconds. *)
+val room_audio :
+  M3v_sim.Rng.t -> seconds:float -> ?sample_rate:int -> ?burst_every:float -> unit -> t
+
+(** Short-window energy, used by the trigger scanner. *)
+val window_energy : t -> off:int -> len:int -> float
+
+(** Serialize samples as little-endian 16-bit PCM. *)
+val to_pcm_bytes : int array -> bytes
+
+val of_pcm_bytes : bytes -> int array

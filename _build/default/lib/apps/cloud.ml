@@ -1,0 +1,139 @@
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module A = M3v_mux.Act_api
+module Vfs = M3v_os.Vfs
+module Net_client = M3v_os.Net_client
+
+let decode_cycles_per_byte = 2
+
+(* Record encoding: tag byte, u16 key length, u32 payload length, key,
+   payload.  Tags: 0 load, 1 read, 2 insert, 3 update, 4 scan (payload =
+   u16 scan length). *)
+
+let add_entry buf ~tag ~key ~payload =
+  Buffer.add_uint8 buf tag;
+  Buffer.add_uint16_le buf (String.length key);
+  Buffer.add_int32_le buf (Int32.of_int (Bytes.length payload));
+  Buffer.add_string buf key;
+  Buffer.add_bytes buf payload
+
+let encode_workload ~load ~ops =
+  let buf = Buffer.create 4096 in
+  List.iter (fun (key, value) -> add_entry buf ~tag:0 ~key ~payload:value) load;
+  List.iter
+    (fun op ->
+      match op with
+      | Ycsb.Read key -> add_entry buf ~tag:1 ~key ~payload:Bytes.empty
+      | Ycsb.Insert (key, value) -> add_entry buf ~tag:2 ~key ~payload:value
+      | Ycsb.Update (key, value) -> add_entry buf ~tag:3 ~key ~payload:value
+      | Ycsb.Scan (key, count) ->
+          let p = Bytes.create 2 in
+          Bytes.set_uint16_le p 0 count;
+          add_entry buf ~tag:4 ~key ~payload:p)
+    ops;
+  Buffer.to_bytes buf
+
+let decode_workload data =
+  let load = ref [] and ops = ref [] in
+  let pos = ref 0 in
+  while !pos < Bytes.length data do
+    let tag = Bytes.get_uint8 data !pos in
+    let klen = Bytes.get_uint16_le data (!pos + 1) in
+    let plen = Int32.to_int (Bytes.get_int32_le data (!pos + 3)) in
+    let key = Bytes.sub_string data (!pos + 7) klen in
+    let payload = Bytes.sub data (!pos + 7 + klen) plen in
+    pos := !pos + 7 + klen + plen;
+    match tag with
+    | 0 -> load := (key, payload) :: !load
+    | 1 -> ops := Ycsb.Read key :: !ops
+    | 2 -> ops := Ycsb.Insert (key, payload) :: !ops
+    | 3 -> ops := Ycsb.Update (key, payload) :: !ops
+    | 4 -> ops := Ycsb.Scan (key, Bytes.get_uint16_le payload 0) :: !ops
+    | _ -> failwith "Cloud.decode_workload: bad tag"
+  done;
+  (List.rev !load, List.rev !ops)
+
+type run_report = {
+  elapsed : Time.t;
+  reads : int;
+  inserts : int;
+  updates : int;
+  scans : int;
+  scan_items : int;
+}
+
+let db_program ~vfs ~(udp : Net_client.udp) ~requests_path ~db_dir_base
+    ~results_to ~reps ~on_rep =
+  let* sock = udp.Net_client.u_socket () in
+  let* () = udp.Net_client.u_bind sock 6000 in
+  let results = Buffer.create 1024 in
+  let flush_results force =
+    if Buffer.length results > 1000 || (force && Buffer.length results > 0) then begin
+      let payload = Buffer.to_bytes results in
+      Buffer.clear results;
+      udp.Net_client.u_sendto sock results_to payload
+    end
+    else Proc.return ()
+  in
+  let one_rep rep =
+    let* t0 = A.now in
+    (* Requests were staged in a file ahead of time (paper, 6.5.2). *)
+    let* req = Vfs.read_all vfs requests_path in
+    let data = match req with Ok d -> d | Error e -> failwith e in
+    let* () = A.compute (decode_cycles_per_byte * Bytes.length data) in
+    let load, ops = decode_workload data in
+    let* store =
+      Kvstore.create ~vfs ~dir:(Printf.sprintf "%s%d" db_dir_base rep) ()
+    in
+    let store = match store with Ok s -> s | Error e -> failwith e in
+    let* () =
+      Proc.iter_list
+        (fun (key, value) -> Kvstore.put store ~key ~value)
+        load
+    in
+    let counts = ref (0, 0, 0, 0, 0) in
+    let bump f = counts := f !counts in
+    let* () =
+      Proc.iter_list
+        (fun op ->
+          let* () =
+            match op with
+            | Ycsb.Read key ->
+                bump (fun (r, i, u, s, si) -> (r + 1, i, u, s, si));
+                let* v = Kvstore.get store ~key in
+                Buffer.add_string results
+                  (Printf.sprintf "R %s %d;" key
+                     (match v with Some v -> Bytes.length v | None -> -1));
+                Proc.return ()
+            | Ycsb.Insert (key, value) ->
+                bump (fun (r, i, u, s, si) -> (r, i + 1, u, s, si));
+                let* () = Kvstore.put store ~key ~value in
+                Buffer.add_string results (Printf.sprintf "I %s;" key);
+                Proc.return ()
+            | Ycsb.Update (key, value) ->
+                bump (fun (r, i, u, s, si) -> (r, i, u + 1, s, si));
+                let* () = Kvstore.put store ~key ~value in
+                Buffer.add_string results (Printf.sprintf "U %s;" key);
+                Proc.return ()
+            | Ycsb.Scan (key, count) ->
+                let* items = Kvstore.scan store ~start:key ~count in
+                bump (fun (r, i, u, s, si) ->
+                    (r, i, u, s + 1, si + List.length items));
+                Buffer.add_string results
+                  (Printf.sprintf "S %s %d;" key (List.length items));
+                Proc.return ()
+          in
+          flush_results false)
+        ops
+    in
+    let* () = flush_results true in
+    let* t1 = A.now in
+    let r, i, u, s, si = !counts in
+    on_rep
+      { elapsed = Time.sub t1 t0; reads = r; inserts = i; updates = u;
+        scans = s; scan_items = si };
+    Proc.return ()
+  in
+  let* () = Proc.repeat reps one_rep in
+  udp.Net_client.u_close sock

@@ -1,0 +1,176 @@
+let frame_samples = 4096
+
+(* Calibration: FLAC encoding on an 80 MHz BOOM core runs at a few hundred
+   kilo-samples per second; 200 cycles per sample puts the voice
+   assistant's compressor in the paper's ~380 ms regime. *)
+let compress_cycles_per_sample = 200
+
+(* --- bit-level IO --- *)
+
+module Bit_writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable bits : int }
+
+  let create () = { buf = Buffer.create 4096; acc = 0; bits = 0 }
+
+  let put t ~bits ~value =
+    if bits < 0 || bits > 30 then invalid_arg "Bit_writer.put";
+    t.acc <- (t.acc lsl bits) lor (value land ((1 lsl bits) - 1));
+    t.bits <- t.bits + bits;
+    while t.bits >= 8 do
+      t.bits <- t.bits - 8;
+      Buffer.add_char t.buf (Char.chr ((t.acc lsr t.bits) land 0xff))
+    done
+
+  let put_unary t n =
+    for _ = 1 to n do
+      put t ~bits:1 ~value:0
+    done;
+    put t ~bits:1 ~value:1
+
+  let finish t =
+    if t.bits > 0 then begin
+      let pad = 8 - t.bits in
+      put t ~bits:pad ~value:0
+    end;
+    Buffer.to_bytes t.buf
+end
+
+module Bit_reader = struct
+  type t = { data : bytes; mutable pos : int; mutable acc : int; mutable bits : int }
+
+  let create data = { data; pos = 0; acc = 0; bits = 0 }
+
+  let refill t =
+    if t.pos >= Bytes.length t.data then failwith "Bit_reader: out of data";
+    t.acc <- (t.acc lsl 8) lor Char.code (Bytes.get t.data t.pos);
+    t.pos <- t.pos + 1;
+    t.bits <- t.bits + 8
+
+  let get t ~bits =
+    while t.bits < bits do
+      refill t
+    done;
+    t.bits <- t.bits - bits;
+    (t.acc lsr t.bits) land ((1 lsl bits) - 1)
+
+  let get_unary t =
+    let n = ref 0 in
+    while get t ~bits:1 = 0 do
+      incr n
+    done;
+    !n
+end
+
+(* --- rice coding --- *)
+
+let zigzag v = if v >= 0 then 2 * v else (-2 * v) - 1
+let unzigzag u = if u land 1 = 0 then u / 2 else -((u + 1) / 2)
+
+let rice_encode w ~k value =
+  let u = zigzag value in
+  let q = u lsr k in
+  (* Escape pathological residuals with a verbatim code. *)
+  if q > 47 then begin
+    Bit_writer.put_unary w 48;
+    Bit_writer.put w ~bits:18 ~value:(u land 0x3FFFF)
+  end
+  else begin
+    Bit_writer.put_unary w q;
+    if k > 0 then Bit_writer.put w ~bits:k ~value:(u land ((1 lsl k) - 1))
+  end
+
+let rice_decode r ~k =
+  let q = Bit_reader.get_unary r in
+  if q = 48 then unzigzag (Bit_reader.get r ~bits:18)
+  else
+    let low = if k > 0 then Bit_reader.get r ~bits:k else 0 in
+    unzigzag ((q lsl k) lor low)
+
+(* Optimal-ish rice parameter from the mean residual magnitude. *)
+let rice_param residuals =
+  let sum = Array.fold_left (fun acc v -> acc + abs v) 0 residuals in
+  let n = max 1 (Array.length residuals) in
+  let mean = sum / n in
+  let rec find k = if 1 lsl k >= mean + 1 || k >= 16 then k else find (k + 1) in
+  find 0
+
+(* --- fixed predictors (FLAC orders 0..2) --- *)
+
+let residuals ~order samples =
+  let n = Array.length samples in
+  Array.init n (fun i ->
+      match order with
+      | 0 -> samples.(i)
+      | 1 -> if i < 1 then samples.(i) else samples.(i) - samples.(i - 1)
+      | 2 ->
+          if i < 2 then samples.(i)
+          else samples.(i) - (2 * samples.(i - 1)) + samples.(i - 2)
+      | _ -> invalid_arg "Flac: unsupported predictor order")
+
+let restore ~order res =
+  let n = Array.length res in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    out.(i) <-
+      (match order with
+      | 0 -> res.(i)
+      | 1 -> if i < 1 then res.(i) else res.(i) + out.(i - 1)
+      | 2 -> if i < 2 then res.(i) else res.(i) + (2 * out.(i - 1)) - out.(i - 2)
+      | _ -> invalid_arg "Flac: unsupported predictor order")
+  done;
+  out
+
+let abs_sum = Array.fold_left (fun acc v -> acc + abs v) 0
+
+let best_order samples =
+  let candidates = [ 0; 1; 2 ] in
+  let scored =
+    List.map (fun order -> (abs_sum (residuals ~order samples), order)) candidates
+  in
+  snd (List.fold_left min (List.hd scored) (List.tl scored))
+
+(* --- frame format ---
+   header: u16 sample count, u8 predictor order, u8 rice parameter;
+   body: rice-coded residuals, byte aligned per frame. *)
+
+let compress samples =
+  let out = Buffer.create (Array.length samples) in
+  let n = Array.length samples in
+  let off = ref 0 in
+  while !off < n do
+    let len = min frame_samples (n - !off) in
+    let frame = Array.sub samples !off len in
+    let order = best_order frame in
+    let res = residuals ~order frame in
+    let k = rice_param res in
+    Buffer.add_uint16_le out len;
+    Buffer.add_uint8 out order;
+    Buffer.add_uint8 out k;
+    let w = Bit_writer.create () in
+    Array.iter (fun v -> rice_encode w ~k v) res;
+    let body = Bit_writer.finish w in
+    Buffer.add_uint16_le out (Bytes.length body);
+    Buffer.add_bytes out body;
+    off := !off + len
+  done;
+  Buffer.to_bytes out
+
+let decompress data =
+  let frames = ref [] in
+  let pos = ref 0 in
+  while !pos < Bytes.length data do
+    let len = Bytes.get_uint16_le data !pos in
+    let order = Bytes.get_uint8 data (!pos + 2) in
+    let k = Bytes.get_uint8 data (!pos + 3) in
+    let body_len = Bytes.get_uint16_le data (!pos + 4) in
+    let body = Bytes.sub data (!pos + 6) body_len in
+    pos := !pos + 6 + body_len;
+    let r = Bit_reader.create body in
+    let res = Array.init len (fun _ -> rice_decode r ~k) in
+    frames := restore ~order res :: !frames
+  done;
+  Array.concat (List.rev !frames)
+
+let ratio samples =
+  let compressed = compress samples in
+  float_of_int (2 * Array.length samples) /. float_of_int (Bytes.length compressed)

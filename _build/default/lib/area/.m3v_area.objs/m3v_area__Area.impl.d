@@ -1,0 +1,1 @@
+lib/area/area.ml: List

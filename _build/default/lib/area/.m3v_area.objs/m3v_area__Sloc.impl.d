@@ -1,0 +1,1 @@
+lib/area/sloc.ml: Array Filename List String Sys

@@ -1,0 +1,1 @@
+lib/area/sloc.mli:

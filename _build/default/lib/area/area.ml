@@ -1,0 +1,86 @@
+type resources = { luts_k : float; ffs_k : float; brams : float }
+
+let r ~l ~f ~b = { luts_k = l; ffs_k = f; brams = b }
+let zero = r ~l:0.0 ~f:0.0 ~b:0.0
+
+let add a b =
+  { luts_k = a.luts_k +. b.luts_k; ffs_k = a.ffs_k +. b.ffs_k; brams = a.brams +. b.brams }
+
+let sub a b =
+  { luts_k = a.luts_k -. b.luts_k; ffs_k = a.ffs_k -. b.ffs_k; brams = a.brams -. b.brams }
+
+let sum = List.fold_left add zero
+
+type component = {
+  name : string;
+  own : resources;
+  children : component list;
+  optional : bool;
+}
+
+let leaf ?(optional = false) name res = { name; own = res; children = []; optional }
+
+let rec total c = add c.own (sum (List.map total c.children))
+
+(* A composite whose published total may deviate slightly from the sum of
+   its published children (synthesis hierarchies share registers); the
+   difference is carried as (possibly negative) glue in [own]. *)
+let composite ?(optional = false) name ~published children =
+  let child_sum = sum (List.map total children) in
+  { name; own = sub published child_sum; children; optional }
+
+(* --- Table 1 (paper, section 6.1) --- *)
+
+let boom = leaf "BOOM" (r ~l:143.8 ~f:71.8 ~b:159.0)
+let rocket = leaf "Rocket" (r ~l:46.6 ~f:22.0 ~b:152.0)
+let noc_router = leaf "NoC router" (r ~l:3.4 ~f:2.2 ~b:0.0)
+
+let unpriv_if = leaf "Unpriv. IF" (r ~l:6.2 ~f:2.5 ~b:0.5)
+let priv_if = leaf ~optional:true "Priv. IF" (r ~l:0.9 ~f:0.3 ~b:0.0)
+
+let cmd_ctrl =
+  composite "CMD CTRL" ~published:(r ~l:7.1 ~f:2.8 ~b:0.5) [ unpriv_if; priv_if ]
+
+let noc_ctrl = leaf "NoC CTRL" (r ~l:3.2 ~f:1.5 ~b:0.0)
+
+let control_unit =
+  composite "Control Unit" ~published:(r ~l:10.3 ~f:3.3 ~b:0.5)
+    [ noc_ctrl; cmd_ctrl ]
+
+let register_file = leaf "Register file" (r ~l:2.0 ~f:1.0 ~b:0.0)
+let memory_mapper = leaf ~optional:true "Memory mapper + PMP" (r ~l:0.6 ~f:0.2 ~b:0.0)
+let io_fifos = leaf "I/O FIFOs" (r ~l:2.3 ~f:0.3 ~b:0.0)
+
+let vdtu =
+  composite "vDTU" ~published:(r ~l:15.2 ~f:5.8 ~b:0.5)
+    [ control_unit; register_file; memory_mapper; io_fifos ]
+
+(* Strip the privileged interface: the plain DTU of non-multiplexed
+   tiles. *)
+let rec strip_optional c =
+  { c with children = List.filter_map strip_child c.children }
+
+and strip_child c = if c.optional then None else Some (strip_optional c)
+
+let dtu_without_virtualization =
+  { (strip_optional vdtu) with name = "DTU (non-virtualized)" }
+
+let virtualization_overhead_percent () =
+  let with_priv = (total vdtu).luts_k in
+  let without = with_priv -. (total priv_if).luts_k in
+  (with_priv -. without) /. without *. 100.0
+
+let vdtu_vs_core_percent core =
+  (total vdtu).luts_k /. (total core).luts_k *. 100.0
+
+let table1_rows () =
+  let rec rows indent c acc =
+    let acc = (indent, c.name, total c) :: acc in
+    List.fold_left (fun acc child -> rows (indent + 1) child acc) acc c.children
+  in
+  List.rev
+    (rows 0 vdtu
+       ((0, "NoC router", total noc_router)
+       :: (0, "Rocket", total rocket)
+       :: (0, "BOOM", total boom)
+       :: []))

@@ -1,0 +1,52 @@
+(** FPGA area accounting (paper, Table 1).
+
+    We cannot synthesize hardware here, so Table 1 is reproduced
+    structurally: the vDTU is composed from its sub-components (control
+    unit = NoC control + command control; command control = unprivileged +
+    privileged interface; plus register file, memory mapper + PMP, and I/O
+    FIFOs), each carrying the published LUT/FF/BRAM figures.  The model
+    recomputes the compositions and the paper's derived claims: the vDTU
+    needs 10.6% / 32.6% of a BOOM / Rocket core's LUTs, and virtualizing
+    the DTU (adding the privileged interface) grows the DTU logic by about
+    6% (paper, section 6.1). *)
+
+type resources = {
+  luts_k : float;  (** logic + LUT-RAM, thousands *)
+  ffs_k : float;  (** flip-flops, thousands *)
+  brams : float;  (** 36 kbit block RAMs *)
+}
+
+val add : resources -> resources -> resources
+val sum : resources list -> resources
+
+(** A component with optional sub-components; a composite's resources are
+    the sum of its leaves plus any glue logic of its own. *)
+type component = {
+  name : string;
+  own : resources;  (** resources not attributed to children *)
+  children : component list;
+  optional : bool;
+      (** dashed in the paper's Figure 5: omitted on non-virtualized DTUs *)
+}
+
+val total : component -> resources
+
+(** The published components. *)
+val boom : component
+
+val rocket : component
+val noc_router : component
+val vdtu : component
+
+(** The vDTU with the privileged interface and registers removed — the
+    plain DTU of controller/accelerator tiles. *)
+val dtu_without_virtualization : component
+
+(** Percentage growth in LUTs from virtualizing the DTU. *)
+val virtualization_overhead_percent : unit -> float
+
+(** vDTU LUTs as a percentage of the given core's. *)
+val vdtu_vs_core_percent : component -> float
+
+(** The rows of Table 1, in paper order: (indent level, name, resources). *)
+val table1_rows : unit -> (int * string * resources) list

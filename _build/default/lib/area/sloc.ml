@@ -1,0 +1,75 @@
+let paper_controller_sloc = 11_500
+let paper_controller_unsafe = 900
+let paper_tilemux_sloc = 1_700
+let paper_tilemux_unsafe = 50
+let paper_nova_sloc = 9_000
+
+(* Count non-blank lines outside (possibly nested) OCaml comments. *)
+let count_string text =
+  let n = String.length text in
+  let count = ref 0 in
+  let depth = ref 0 in
+  let line_has_code = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      if !line_has_code then incr count;
+      line_has_code := false;
+      incr i
+    end
+    else if !i + 1 < n && c = '(' && text.[!i + 1] = '*' then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if !i + 1 < n && c = '*' && text.[!i + 1] = ')' && !depth > 0 then begin
+      decr depth;
+      i := !i + 2
+    end
+    else begin
+      if !depth = 0 && c <> ' ' && c <> '\t' && c <> '\r' then
+        line_has_code := true;
+      incr i
+    end
+  done;
+  if !line_has_code then incr count;
+  !count
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let rec ocaml_files dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.concat_map (fun entry ->
+             let path = Filename.concat dir entry in
+             if Sys.is_directory path then ocaml_files path
+             else if
+               Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+             then [ path ]
+             else [])
+  | exception Sys_error _ -> []
+
+let count_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Some
+      (List.fold_left
+         (fun acc path ->
+           match read_file path with
+           | text -> acc + count_string text
+           | exception Sys_error _ -> acc)
+         0 (ocaml_files dir))
+  else None
+
+let our_components =
+  [
+    ("controller (lib/kernel)", "lib/kernel");
+    ("TileMux (lib/mux)", "lib/mux");
+    ("vDTU model (lib/dtu)", "lib/dtu");
+    ("OS services (lib/os)", "lib/os");
+  ]

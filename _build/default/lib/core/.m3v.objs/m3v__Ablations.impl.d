@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Bytes Format List M3v_apps M3v_dtu M3v_kernel M3v_mux M3v_noc M3v_os M3v_sim M3v_tile Option Printf Services System

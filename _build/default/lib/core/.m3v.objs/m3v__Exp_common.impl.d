@@ -1,0 +1,1 @@
+lib/core/exp_common.ml: Float Format List M3v_sim String

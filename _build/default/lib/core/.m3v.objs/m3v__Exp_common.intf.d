@@ -1,0 +1,1 @@
+lib/core/exp_common.mli: Format M3v_sim

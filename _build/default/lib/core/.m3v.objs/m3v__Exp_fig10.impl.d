@@ -1,0 +1,1 @@
+lib/core/exp_fig10.ml: Exp_common Float Format Hashtbl List M3v_apps M3v_linux M3v_mux M3v_os M3v_sim Option Services System

@@ -1,0 +1,1 @@
+lib/core/exp_fig6.ml: Exp_common List M3v_dtu M3v_linux M3v_mux M3v_sim M3v_tile Printf System

@@ -1,0 +1,1 @@
+lib/core/exp_fig6.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/core/exp_fig8.ml: Bytes Exp_common M3v_linux M3v_mux M3v_os M3v_sim Option Services System

@@ -1,0 +1,1 @@
+lib/core/exp_fig8.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/core/exp_fig9.ml: Exp_common Format List M3v_apps M3v_os M3v_sim M3v_tile Option Printf Services System

@@ -1,0 +1,1 @@
+lib/core/exp_fig9.mli: M3v_apps System

@@ -1,0 +1,1 @@
+lib/core/exp_runner.ml: Ablations Exp_fig10 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_table1 Exp_voice List

@@ -1,0 +1,1 @@
+lib/core/exp_table1.ml: Exp_common Format List M3v_area Printf String

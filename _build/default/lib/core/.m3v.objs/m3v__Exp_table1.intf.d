@@ -1,0 +1,1 @@
+lib/core/exp_table1.mli: M3v_area

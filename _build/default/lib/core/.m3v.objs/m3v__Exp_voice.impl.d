@@ -1,0 +1,1 @@
+lib/core/exp_voice.ml: Array Bytes Exp_common Lazy List M3v_apps M3v_dtu M3v_kernel M3v_mux M3v_os M3v_sim Option Printf Services System

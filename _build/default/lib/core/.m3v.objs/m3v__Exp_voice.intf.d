@@ -1,0 +1,1 @@
+lib/core/exp_voice.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/core/services.mli: M3v_dtu M3v_mux M3v_os System

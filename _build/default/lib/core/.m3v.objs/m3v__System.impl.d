@@ -1,0 +1,1 @@
+lib/core/system.ml: Hashtbl List M3v_dtu M3v_kernel M3v_mux M3v_os M3v_sim M3v_tile Printf

@@ -1,0 +1,240 @@
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module A = M3v_mux.Act_api
+module Msg = M3v_dtu.Msg
+module Topology = M3v_noc.Topology
+module Controller = M3v_kernel.Controller
+module Fs_client = M3v_os.Fs_client
+module Fs_proto = M3v_os.Fs_proto
+module Trace = M3v_apps.Trace
+
+type row = { knob : string; value : float; metric : string }
+type result = { study : string; rows : row list }
+
+(* --- extent size: sequential read throughput vs the extent cap --- *)
+
+let read_throughput ~max_extent_blocks =
+  let sys = System.create ~variant:System.M3v () in
+  let file_size = 1024 * 1024 in
+  let fs =
+    Services.make_fs sys ~tile:3 ~blocks:1024 ~max_extent_blocks ()
+  in
+  Services.preload_file sys fs ~path:"/f" (Bytes.make file_size 'x');
+  let elapsed = ref Time.zero in
+  let client_box = ref None in
+  let aid, env =
+    System.spawn sys ~tile:2 ~name:"reader" (fun _ ->
+        let client = Option.get !client_box in
+        let* fd = Fs_client.open_ client "/f" Fs_proto.rdonly in
+        let fd = match fd with Ok fd -> fd | Error e -> failwith e in
+        let* buf = A.alloc_buf 4096 in
+        let* t0 = A.now in
+        let rec drain () =
+          let* n = Fs_client.read client ~fd ~buf ~len:4096 in
+          if n = 0 then Proc.return () else drain ()
+        in
+        let* () = drain () in
+        let* t1 = A.now in
+        elapsed := Time.sub t1 t0;
+        Proc.return ())
+  in
+  client_box := Some (fs.Services.connect aid env);
+  System.boot sys;
+  ignore (System.run sys);
+  float_of_int file_size /. 1024.0 /. 1024.0 /. Time.to_s !elapsed
+
+let extent_size ?(caps = [ 1; 4; 16; 64 ]) () =
+  {
+    study = "extent cap vs sequential read throughput (MiB/s)";
+    rows =
+      List.map
+        (fun cap ->
+          {
+            knob = Printf.sprintf "%d blocks/extent" cap;
+            value = read_throughput ~max_extent_blocks:cap;
+            metric = "MiB/s";
+          })
+        caps;
+  }
+
+(* --- vDTU TLB capacity: fault rate under a wide buffer working set --- *)
+
+type Msg.data += Ab_ping
+
+let tlb_run ~tlb_capacity ~pages =
+  let sys = System.create ~tlb_capacity ~variant:System.M3v () in
+  let rgate = ref (-1) in
+  let chan = ref (-1, -1) in
+  let elapsed = ref Time.zero in
+  let sink, _ =
+    System.spawn sys ~tile:3 ~name:"sink" (fun _ ->
+        let rec loop () =
+          let* _ep, msg = A.recv ~eps:[ !rgate ] in
+          let* () = A.ack ~ep:!rgate msg in
+          loop ()
+        in
+        loop ())
+  in
+  let src, _ =
+    System.spawn sys ~tile:2 ~name:"source" (fun _ ->
+        (* One buffer page per message, round robin over a working set
+           wider than (or within) the vDTU TLB. *)
+        let* buf = A.alloc_buf (pages * 4096) in
+        let* t0 = A.now in
+        let* () =
+          Proc.repeat 600 (fun i ->
+              let vaddr = buf.M3v_mux.Act_ops.vaddr + (i mod pages * 4096) in
+              A.send ~ep:(fst !chan) ~vaddr ~size:64 Ab_ping)
+        in
+        let* t1 = A.now in
+        elapsed := Time.sub t1 t0;
+        Proc.return ())
+  in
+  let ch = System.channel sys ~src ~dst:sink ~credits:8 ~slots:16 () in
+  rgate := ch.System.rgate;
+  chan := (ch.System.sgate, ch.System.reply_ep);
+  System.boot sys;
+  ignore (System.run sys);
+  let tlb = M3v_dtu.Dtu.tlb (M3v_tile.Platform.dtu (System.platform sys) 2) in
+  let stats = M3v_dtu.Tlb.stats tlb in
+  (Time.to_us !elapsed /. 600.0, stats.M3v_dtu.Tlb.misses)
+
+(* Cyclic page access under FIFO replacement thrashes completely once the
+   working set exceeds the capacity, so we sweep the working set against
+   the paper-sized 32-entry TLB: within capacity, one cold miss per page;
+   beyond it, every send pays the TMCall translate path. *)
+let tlb_capacity ?(capacities = [ 32 ]) () =
+  let working_sets = [ 8; 24; 48; 96 ] in
+  let cap = match capacities with c :: _ -> c | [] -> 32 in
+  {
+    study =
+      Printf.sprintf
+        "sender working set vs vDTU TLB (%d entries): per-send us / misses" cap;
+    rows =
+      List.concat_map
+        (fun pages ->
+          let us, misses = tlb_run ~tlb_capacity:cap ~pages in
+          [
+            { knob = Printf.sprintf "%d pages" pages; value = us; metric = "us/send" };
+            {
+              knob = Printf.sprintf "%d pages" pages;
+              value = float_of_int misses;
+              metric = "TLB misses";
+            };
+          ])
+        working_sets;
+  }
+
+(* --- NoC topology: remote RPC latency across placements --- *)
+
+let topo_rpc ~make_topo =
+  let spec = M3v_tile.Platform.fpga_spec () in
+  let topology = make_topo ~tiles:(List.length spec) in
+  let sys = System.create ~spec ~topology ~variant:System.M3v () in
+  let rounds = 150 in
+  let rgate = ref (-1) in
+  let chan = ref (-1, -1) in
+  let elapsed = ref Time.zero in
+  let server, _ =
+    System.spawn sys ~tile:7 ~name:"server" (fun _ ->
+        Proc.repeat rounds (fun _ ->
+            let* _ep, msg = A.recv ~eps:[ !rgate ] in
+            A.reply ~recv_ep:!rgate ~msg ~size:8 Ab_ping))
+  in
+  let client, _ =
+    System.spawn sys ~tile:2 ~name:"client" (fun _ ->
+        let* t0 = A.now in
+        let* () =
+          Proc.repeat rounds (fun _ ->
+              let* _ = A.call ~sgate:(fst !chan) ~reply_ep:(snd !chan) ~size:8 Ab_ping in
+              Proc.return ())
+        in
+        let* t1 = A.now in
+        elapsed := Time.sub t1 t0;
+        Proc.return ())
+  in
+  let ch = System.channel sys ~src:client ~dst:server () in
+  rgate := ch.System.rgate;
+  chan := (ch.System.sgate, ch.System.reply_ep);
+  System.boot sys;
+  ignore (System.run sys);
+  Time.to_us !elapsed /. float_of_int rounds
+
+let topology () =
+  {
+    study = "NoC topology vs remote RPC latency (tiles 2 -> 7)";
+    rows =
+      [
+        {
+          knob = "2x2 star-mesh (paper)";
+          value = topo_rpc ~make_topo:(fun ~tiles -> Topology.star_mesh_2x2 ~tiles);
+          metric = "us/RPC";
+        };
+        {
+          knob = "single crossbar router";
+          value = topo_rpc ~make_topo:(fun ~tiles -> Topology.single_router ~tiles);
+          metric = "us/RPC";
+        };
+        {
+          knob = "4-router ring";
+          value = topo_rpc ~make_topo:(fun ~tiles -> Topology.ring ~routers:4 ~tiles);
+          metric = "us/RPC";
+        };
+      ];
+  }
+
+(* --- M3x endpoint-state size: slow-path throughput vs per-activity
+   endpoint count (what the controller must save/restore remotely) --- *)
+
+let mx_throughput ~extra_eps =
+  let trace = Trace.find_trace ~dirs:4 ~files_per_dir:10 () in
+  let spec = M3v_tile.Platform.gem5_spec ~user_tiles:1 () in
+  let sys = System.create ~spec ~variant:System.M3x () in
+  let fs = Services.make_fs sys ~tile:1 ~blocks:512 () in
+  M3v_apps.Traceplayer.setup_fs (M3v_os.M3fs.core fs.Services.fs_handle) trace;
+  let res = M3v_apps.Traceplayer.make_results () in
+  let client_box = ref None in
+  let aid, env =
+    System.spawn sys ~tile:1 ~name:"player"
+      (M3v_apps.Traceplayer.program res
+         ~client:(lazy (Option.get !client_box))
+         ~trace ~runs:2 ~warmup:1)
+  in
+  client_box := Some (fs.Services.connect aid env);
+  (* Inflate the endpoint state the controller must move on each remote
+     context switch. *)
+  let ctrl = System.controller sys in
+  (* Two activities share the tile's 128 endpoints; stay within range. *)
+  for _ = 1 to min extra_eps 48 do
+    ignore (Controller.host_alloc_ep ctrl ~tile:1 ~act:aid);
+    ignore (Controller.host_alloc_ep ctrl ~tile:1 ~act:fs.Services.fs_aid)
+  done;
+  System.boot sys;
+  ignore (System.run sys);
+  let times = res.M3v_apps.Traceplayer.run_times in
+  let total = List.fold_left Time.add Time.zero times in
+  float_of_int (List.length times) /. Time.to_s total
+
+let mx_ep_state ?(extra_eps = [ 0; 16; 32; 48 ]) () =
+  {
+    study = "M3x: per-activity endpoints vs slow-path throughput (runs/s)";
+    rows =
+      List.map
+        (fun extra ->
+          {
+            knob = Printf.sprintf "+%d endpoints/activity" extra;
+            value = mx_throughput ~extra_eps:extra;
+            metric = "runs/s";
+          })
+        extra_eps;
+  }
+
+let run_all () = [ extent_size (); tlb_capacity (); topology (); mx_ep_state () ]
+
+let print r =
+  Format.printf "@.== Ablation: %s ==@." r.study;
+  List.iter
+    (fun row ->
+      Format.printf "  %-26s %12.2f %s@." row.knob row.value row.metric)
+    r.rows

@@ -1,0 +1,57 @@
+module Time = M3v_sim.Time
+module Stats = M3v_sim.Stats
+
+type bar = { label : string; mean : float; stddev : float }
+
+let bar_of_times label times ~to_unit =
+  let xs = List.map to_unit times in
+  let s = Stats.summarize xs in
+  { label; mean = s.Stats.mean; stddev = s.Stats.stddev }
+
+let default_out = Format.std_formatter
+
+let print_bars ?(out = default_out) ~title ~unit_label bars =
+  Format.fprintf out "@.== %s ==@." title;
+  let widest =
+    List.fold_left (fun acc b -> max acc (String.length b.label)) 0 bars
+  in
+  let max_mean = List.fold_left (fun acc b -> Float.max acc b.mean) 1e-9 bars in
+  List.iter
+    (fun b ->
+      let hashes = int_of_float (40.0 *. b.mean /. max_mean) in
+      Format.fprintf out "  %-*s %10.2f +- %-8.2f %s |%s@." widest b.label b.mean
+        b.stddev unit_label
+        (String.make (max 0 hashes) '#'))
+    bars
+
+let print_series ?(out = default_out) ~title ~x_label ~series_labels rows =
+  Format.fprintf out "@.== %s ==@." title;
+  Format.fprintf out "  %-10s" x_label;
+  List.iter (fun l -> Format.fprintf out " %14s" l) series_labels;
+  Format.fprintf out "@.";
+  List.iter
+    (fun (x, values) ->
+      Format.fprintf out "  %-10.0f" x;
+      List.iter
+        (fun v ->
+          match v with
+          | Some v -> Format.fprintf out " %14.1f" v
+          | None -> Format.fprintf out " %14s" "-")
+        values;
+      Format.fprintf out "@.")
+    rows
+
+let print_kv ?(out = default_out) ~title pairs =
+  Format.fprintf out "@.== %s ==@." title;
+  let widest =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  List.iter (fun (k, v) -> Format.fprintf out "  %-*s  %s@." widest k v) pairs
+
+(* FPGA spec tile map: 0 = controller, 1..7 = BOOM (1 has the NIC),
+   8 = Rocket, 9/10 = memory. *)
+let boom_tile_a = 1
+let boom_tile_b = 2
+let boom_tile_c = 3
+let boom_tile_d = 4
+let rocket_tile = 8

@@ -1,0 +1,32 @@
+(** Shared helpers for the experiment harness. *)
+
+(** One bar of a bar chart: label, mean, standard deviation. *)
+type bar = { label : string; mean : float; stddev : float }
+
+val bar_of_times : string -> M3v_sim.Time.t list -> to_unit:(M3v_sim.Time.t -> float) -> bar
+
+(** Render bars with a textual bar chart. *)
+val print_bars :
+  ?out:Format.formatter -> title:string -> unit_label:string -> bar list -> unit
+
+(** Render an (x, series...) table: one line per x value. *)
+val print_series :
+  ?out:Format.formatter ->
+  title:string ->
+  x_label:string ->
+  series_labels:string list ->
+  (float * float option list) list ->
+  unit
+
+val print_kv : ?out:Format.formatter -> title:string -> (string * string) list -> unit
+
+(** Default measurement tiles on the FPGA spec: the first three BOOM user
+    tiles (tile 0 is the controller). *)
+val boom_tile_a : int
+
+val boom_tile_b : int
+val boom_tile_c : int
+val boom_tile_d : int
+
+(** The Rocket processing tile of the FPGA spec. *)
+val rocket_tile : int

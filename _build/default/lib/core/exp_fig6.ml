@@ -1,0 +1,163 @@
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module Stats = M3v_sim.Stats
+module A = M3v_mux.Act_api
+module Msg = M3v_dtu.Msg
+module Lx = M3v_linux.Lx_api
+module Linux_sim = M3v_linux.Linux_sim
+
+type result = {
+  bars : Exp_common.bar list;
+  kcycles : (string * float) list;
+  m3x_local_kcycles_3ghz : float;
+  m3v_local_kcycles_3ghz : float;
+}
+
+type Msg.data += Noop_req | Noop_resp
+
+(* Average time of one no-op RPC between a client and a server activity. *)
+let rpc_duration ~variant ~spec ~client_tile ~server_tile ~rounds =
+  let sys = System.create ~spec ~variant () in
+  let rgate = ref (-1) in
+  let chan = ref (-1, -1) in
+  let total = ref Time.zero in
+  let server, _ =
+    System.spawn sys ~tile:server_tile ~name:"echo" (fun _ ->
+        let rec serve n =
+          if n = 0 then Proc.return ()
+          else
+            let* _ep, msg = A.recv ~eps:[ !rgate ] in
+            let* () = A.reply ~recv_ep:!rgate ~msg ~size:8 Noop_resp in
+            serve (n - 1)
+        in
+        serve rounds)
+  in
+  let client, _ =
+    System.spawn sys ~tile:client_tile ~name:"caller" (fun _ ->
+        (* Warm up before timing, as the paper does. *)
+        let* () =
+          Proc.repeat (rounds / 10) (fun _ ->
+              let* _ =
+                A.call ~sgate:(fst !chan) ~reply_ep:(snd !chan) ~size:8 Noop_req
+              in
+              Proc.return ())
+        in
+        let* t0 = A.now in
+        let* () =
+          Proc.repeat (rounds - (rounds / 10)) (fun _ ->
+              let* _ =
+                A.call ~sgate:(fst !chan) ~reply_ep:(snd !chan) ~size:8 Noop_req
+              in
+              Proc.return ())
+        in
+        let* t1 = A.now in
+        total := Time.sub t1 t0;
+        Proc.return ())
+  in
+  let ch = System.channel sys ~src:client ~dst:server () in
+  rgate := ch.System.rgate;
+  chan := (ch.System.sgate, ch.System.reply_ep);
+  System.boot sys;
+  ignore (System.run sys);
+  !total / (rounds - (rounds / 10))
+
+let linux_syscall_duration ~rounds =
+  let engine = M3v_sim.Engine.create () in
+  let lx = Linux_sim.create engine () in
+  let total = ref Time.zero in
+  let _ =
+    Linux_sim.spawn lx ~name:"sc" begin
+      let* () = Proc.repeat (rounds / 10) (fun _ -> Lx.noop_syscall) in
+      let* t0 = A.now in
+      let* () = Proc.repeat rounds (fun _ -> Lx.noop_syscall) in
+      let* t1 = A.now in
+      total := Time.sub t1 t0;
+      Proc.return ()
+    end
+  in
+  Linux_sim.boot lx;
+  ignore (M3v_sim.Engine.run engine);
+  !total / rounds
+
+(* Two processes yielding back and forth: the cost of one "hop" is one
+   yield; the figure reports two (one round trip between processes). *)
+let linux_yield2_duration ~rounds =
+  let engine = M3v_sim.Engine.create () in
+  let lx = Linux_sim.create engine () in
+  let total = ref Time.zero in
+  let yielder n =
+    let* () = Proc.repeat (n / 10) (fun _ -> Lx.yield) in
+    let* t0 = A.now in
+    let* () = Proc.repeat n (fun _ -> Lx.yield) in
+    let* t1 = A.now in
+    total := Time.sub t1 t0;
+    Proc.return ()
+  in
+  let _ = Linux_sim.spawn lx ~name:"y1" (yielder rounds) in
+  let _ =
+    Linux_sim.spawn lx ~name:"y2" (Proc.repeat (rounds + (rounds / 10) + 4) (fun _ -> Lx.yield))
+  in
+  Linux_sim.boot lx;
+  ignore (M3v_sim.Engine.run engine);
+  (* Between two yields of y1 the partner also yields once: each measured
+     iteration covers exactly one yield pair (two context switches). *)
+  !total / rounds
+
+let boom_kcycles t =
+  Time.to_us t *. 80.0 /. 1000.0 (* 80 cycles per us at 80 MHz *)
+
+let x86_kcycles t = Time.to_us t *. 3000.0 /. 1000.0
+
+let run ?(rounds = 1000) () =
+  let fpga = M3v_tile.Platform.fpga_spec () in
+  let gem5 = M3v_tile.Platform.gem5_spec ~user_tiles:2 () in
+  let m3v_remote =
+    rpc_duration ~variant:System.M3v ~spec:fpga
+      ~client_tile:Exp_common.boom_tile_b ~server_tile:Exp_common.boom_tile_c
+      ~rounds
+  in
+  let m3v_local =
+    rpc_duration ~variant:System.M3v ~spec:fpga
+      ~client_tile:Exp_common.boom_tile_b ~server_tile:Exp_common.boom_tile_b
+      ~rounds
+  in
+  let lx_syscall = linux_syscall_duration ~rounds in
+  let lx_yield2 = linux_yield2_duration ~rounds in
+  (* gem5 3 GHz reference points (paper: M3x ~27k cycles, M3v ~5k). *)
+  let m3x_local_3ghz =
+    rpc_duration ~variant:System.M3x ~spec:gem5 ~client_tile:1 ~server_tile:1
+      ~rounds:(rounds / 4)
+  in
+  let m3v_local_3ghz =
+    rpc_duration ~variant:System.M3v ~spec:gem5 ~client_tile:1 ~server_tile:1
+      ~rounds:(rounds / 4)
+  in
+  let entries =
+    [
+      ("Linux yield (2x)", lx_yield2);
+      ("Linux syscall", lx_syscall);
+      ("M3v local", m3v_local);
+      ("M3v remote", m3v_remote);
+    ]
+  in
+  {
+    bars =
+      List.map
+        (fun (label, t) -> { Exp_common.label; mean = Time.to_us t; stddev = 0.0 })
+        entries;
+    kcycles = List.map (fun (label, t) -> (label, boom_kcycles t)) entries;
+    m3x_local_kcycles_3ghz = x86_kcycles m3x_local_3ghz;
+    m3v_local_kcycles_3ghz = x86_kcycles m3v_local_3ghz;
+  }
+
+let print r =
+  Exp_common.print_bars ~title:"Figure 6: local/remote communication (BOOM, 80 MHz)"
+    ~unit_label:"us" r.bars;
+  Exp_common.print_kv ~title:"Figure 6 (right axis): kilo-cycles"
+    (List.map (fun (l, v) -> (l, Printf.sprintf "%.2f kcycles" v)) r.kcycles);
+  Exp_common.print_kv ~title:"Section 6.2 reference: tile-local RPC at 3 GHz (gem5 config)"
+    [
+      ("M3x (paper: ~27 kcycles)", Printf.sprintf "%.1f kcycles" r.m3x_local_kcycles_3ghz);
+      ("M3v (paper: ~5 kcycles)", Printf.sprintf "%.1f kcycles" r.m3v_local_kcycles_3ghz);
+    ]

@@ -1,0 +1,13 @@
+(** Figure 7: file read/write throughput.
+
+    2 MiB files, 4 KiB buffers, extents capped at 64 blocks; 10 measured
+    runs after 4 warmup runs, as in the paper.  Six configurations:
+    Linux read/write (tmpfs, one core), M3v read/write with all components
+    (benchmark, m3fs, pager) sharing one BOOM tile ("shared"), and M3v
+    read/write with each component on its own tile ("isolated" — shown for
+    completeness; the paper notes it is not comparable to Linux). *)
+
+type result = { bars : Exp_common.bar list (** MiB/s *) }
+
+val run : ?runs:int -> ?warmup:int -> ?file_size:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,12 @@
+(** Figure 8: UDP latency.
+
+    1-byte packets echoed by a directly connected peer machine; 50
+    repetitions after 5 warmup rounds, as in the paper.  Configurations:
+    Linux (in-kernel stack, one core), M3v with the benchmark sharing the
+    NIC tile with the net service ("shared"), and M3v with the benchmark
+    on its own tile ("isolated"; not comparable to Linux per the paper). *)
+
+type result = { bars : Exp_common.bar list (** microseconds *) }
+
+val run : ?runs:int -> ?warmup:int -> unit -> result
+val print : result -> unit

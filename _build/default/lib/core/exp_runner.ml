@@ -1,0 +1,23 @@
+let opt v = if v <= 0 then None else Some v
+
+let fig6 ~rounds = Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ())
+let fig7 ~runs = Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ())
+let fig8 ~runs = Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ())
+let fig9 ~runs = Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ())
+let fig10 ~runs = Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ())
+let voice ~runs = Exp_voice.print (Exp_voice.run ?runs:(opt runs) ())
+let table1 () = Exp_table1.print (Exp_table1.run ())
+let complexity () = Exp_table1.print_complexity (Exp_table1.run_complexity ())
+
+let ablations () = List.iter Ablations.print (Ablations.run_all ())
+
+let all () =
+  table1 ();
+  complexity ();
+  fig6 ~rounds:0;
+  fig7 ~runs:0;
+  fig8 ~runs:0;
+  fig9 ~runs:0;
+  voice ~runs:0;
+  fig10 ~runs:0;
+  ablations ()

@@ -1,0 +1,19 @@
+(** Entry points used by the CLI and the benchmark harness: run an
+    experiment with paper-default parameters (pass [runs = 0] or
+    [rounds <= 0] for the default) and print the table/figure. *)
+
+val fig6 : rounds:int -> unit
+val fig7 : runs:int -> unit
+val fig8 : runs:int -> unit
+val fig9 : runs:int -> unit
+val fig10 : runs:int -> unit
+val voice : runs:int -> unit
+val table1 : unit -> unit
+val complexity : unit -> unit
+
+(** Ablation studies for the design decisions (extent cap, TLB size,
+    topology, M3x endpoint state). *)
+val ablations : unit -> unit
+
+(** Everything, in the paper's evaluation order. *)
+val all : unit -> unit

@@ -1,0 +1,19 @@
+(** Table 1 (FPGA area) and section 6.1 (software complexity). *)
+
+type result = {
+  rows : (int * string * M3v_area.Area.resources) list;
+  vdtu_vs_boom_percent : float;
+  vdtu_vs_rocket_percent : float;
+  virtualization_overhead_percent : float;
+}
+
+val run : unit -> result
+val print : result -> unit
+
+type complexity = {
+  components : (string * int option) list;  (** ours: (label, SLOC) *)
+  paper : (string * int) list;
+}
+
+val run_complexity : unit -> complexity
+val print_complexity : complexity -> unit

@@ -1,0 +1,24 @@
+(** Section 6.5.1: the voice assistant.
+
+    Four components: the trigger-word scanner (pinned to a simple Rocket
+    core for isolation, with everything mapped up front to minimize its
+    TCB), the FLAC compressor, the network stack, and the pager.  The
+    scanner delegates a memory region with the triggered audio windows to
+    the compressor, which compresses them (real Rice-coded FLAC subset)
+    and ships the result to the peer machine via UDP.
+
+    Two placements are compared: compressor/net/pager each on their own
+    BOOM tile ("isolated") vs all three sharing one BOOM tile ("shared").
+    The paper measures 384 ms vs 398 ms over 16 repetitions — a sharing
+    overhead of 3.6%. *)
+
+type result = {
+  isolated_ms : Exp_common.bar;
+  shared_ms : Exp_common.bar;
+  overhead_percent : float;
+  compression_ratio : float;
+  windows_per_rep : int;
+}
+
+val run : ?runs:int -> ?warmup:int -> ?audio_seconds:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,1 @@
+lib/dtu/dram.ml: Bytes M3v_sim Printf

@@ -1,0 +1,1 @@
+lib/dtu/dram.mli: M3v_sim

@@ -1,0 +1,1 @@
+lib/dtu/dtu.ml: Array Dram Dtu_types Ep Hashtbl M3v_noc M3v_sim Msg Printf Queue Tlb

@@ -1,0 +1,1 @@
+lib/dtu/dtu.mli: Dram Dtu_types Ep M3v_noc M3v_sim Msg Tlb

@@ -1,0 +1,1 @@
+lib/dtu/dtu_types.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/dtu/ep.ml: Dtu_types Format Msg Queue

@@ -1,0 +1,1 @@
+lib/dtu/ep.mli: Dtu_types Format Msg Queue

@@ -1,0 +1,1 @@
+lib/dtu/msg.ml: Dtu_types Format Printf

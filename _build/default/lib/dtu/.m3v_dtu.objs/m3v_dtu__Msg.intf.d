@@ -1,0 +1,1 @@
+lib/dtu/msg.mli: Dtu_types Format

@@ -1,0 +1,1 @@
+lib/dtu/tlb.ml: Dtu_types Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/dtu/tlb.mli: Dtu_types

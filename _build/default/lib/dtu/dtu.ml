@@ -1,0 +1,461 @@
+module Engine = M3v_sim.Engine
+module Noc = M3v_noc.Noc
+open Dtu_types
+
+type completion = (unit, Dtu_types.error) result -> unit
+
+type stats = {
+  sends : int;
+  replies : int;
+  fetches : int;
+  acks : int;
+  dma_reads : int;
+  dma_writes : int;
+  dma_bytes : int;
+  core_reqs : int;
+  delivery_failures : int;
+  translation_faults : int;
+}
+
+let empty_stats =
+  {
+    sends = 0;
+    replies = 0;
+    fetches = 0;
+    acks = 0;
+    dma_reads = 0;
+    dma_writes = 0;
+    dma_bytes = 0;
+    core_reqs = 0;
+    delivery_failures = 0;
+    translation_faults = 0;
+  }
+
+type t = {
+  virtualized : bool;
+  tile : int;
+  engine : Engine.t;
+  noc : Noc.t;
+  eps : Ep.t array;
+  tlb : Tlb.t;
+  mutable cur : act_id;
+  unread : (act_id, int ref) Hashtbl.t;
+  core_reqs : act_id Queue.t;
+  mutable core_req_irq : unit -> unit;
+  mutable msg_arrived : act_id -> unit;
+  mutable lookup_dtu : int -> t option;
+  mutable lookup_mem : int -> Dram.t option;
+  mutable stats : stats;
+}
+
+(* Local command processing time inside the DTU's finite state machines
+   (validation, register file access), independent of the core's MMIO cost
+   which the tile runtime charges separately. *)
+let cmd_process_ps = 10_000 (* 10 ns *)
+
+(* Interval between a core-request acknowledgement and re-raising the
+   interrupt for the next queued request. *)
+let core_req_repost_ps = 5_000
+
+let credit_packet_bytes = 8
+
+let create ~virtualized ~tile ?(ep_count = 128) ?(tlb_capacity = 32) engine noc =
+  {
+    virtualized;
+    tile;
+    engine;
+    noc;
+    eps = Array.init ep_count (fun _ -> Ep.make_invalid ());
+    tlb = Tlb.create ~capacity:tlb_capacity;
+    cur = invalid_act;
+    unread = Hashtbl.create 8;
+    core_reqs = Queue.create ();
+    core_req_irq = (fun () -> ());
+    msg_arrived = (fun _ -> ());
+    lookup_dtu = (fun _ -> None);
+    lookup_mem = (fun _ -> None);
+    stats = empty_stats;
+  }
+
+let connect t ~lookup_dtu ~lookup_mem =
+  t.lookup_dtu <- lookup_dtu;
+  t.lookup_mem <- lookup_mem
+
+let tile t = t.tile
+let virtualized t = t.virtualized
+let ep_count t = Array.length t.eps
+let stats t = t.stats
+let tlb t = t.tlb
+
+let unread_cell t act =
+  match Hashtbl.find_opt t.unread act with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.unread act r;
+      r
+
+let unread_of t act = !(unread_cell t act)
+let cur_act t = t.cur
+let cur_unread t = unread_of t t.cur
+
+(* --- endpoint access helpers --- *)
+
+let get_ep t ep =
+  if ep < 0 || ep >= Array.length t.eps then Error No_such_ep
+  else
+    let e = t.eps.(ep) in
+    match e.cfg with Ep.Invalid -> Error No_such_ep | _ -> Ok e
+
+(* The vDTU hides endpoints of other activities behind the same error as an
+   invalid endpoint (paper, section 3.5). *)
+let get_owned_ep t ep =
+  match get_ep t ep with
+  | Error _ as e -> e
+  | Ok e ->
+      if t.virtualized && e.Ep.owner <> t.cur then Error Unknown_ep else Ok e
+
+(* TLB check for the local buffer of a command.  Only virtualized DTUs
+   translate; plain DTUs (controller, memory, accelerator tiles) use
+   physical addressing. *)
+let check_vaddr t ~vaddr ~len ~write =
+  match vaddr with
+  | None -> Ok ()
+  | Some addr ->
+      if crosses_page addr len then Error Page_boundary
+      else if not t.virtualized then Ok ()
+      else
+        let vpage = page_of_addr addr in
+        (match Tlb.lookup t.tlb ~act:t.cur ~vpage ~write with
+        | Some _ -> Ok ()
+        | None ->
+            t.stats <-
+              { t.stats with translation_faults = t.stats.translation_faults + 1 };
+            Error (Translation_fault vpage))
+
+let complete_local t ~k result =
+  Engine.after t.engine ~delay:cmd_process_ps (fun () -> k result)
+
+(* --- delivery at the destination DTU --- *)
+
+let push_core_req dst act =
+  let was_empty = Queue.is_empty dst.core_reqs in
+  Queue.add act dst.core_reqs;
+  dst.stats <- { dst.stats with core_reqs = dst.stats.core_reqs + 1 };
+  if was_empty then dst.core_req_irq ()
+
+(* [deliver dst msg ~dst_ep] stores [msg] in the receive buffer.  On a vDTU
+   this always succeeds while a slot is free, independent of whether the
+   owner is running — the defining difference from M3x (paper, section
+   3.8). *)
+let deliver dst ~dst_ep (msg : Msg.t) =
+  match get_ep dst dst_ep with
+  | Error _ -> Error Recv_gone
+  | Ok e -> (
+      match e.Ep.cfg with
+      | Ep.Recv r ->
+          if r.Ep.occupied >= r.Ep.slots then Error Recv_gone
+          else if msg.Msg.size + Msg.header_bytes > r.Ep.slot_size then
+            Error Recv_gone
+          else begin
+            Queue.add msg r.Ep.pending;
+            r.Ep.occupied <- r.Ep.occupied + 1;
+            let owner = e.Ep.owner in
+            if dst.virtualized then begin
+              incr (unread_cell dst owner);
+              if owner <> dst.cur then push_core_req dst owner
+            end;
+            dst.msg_arrived owner;
+            Ok ()
+          end
+      | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Recv_gone)
+
+let restore_credit dst_dtu ~ep =
+  match get_ep dst_dtu ep with
+  | Ok { Ep.cfg = Ep.Send s; _ } ->
+      if s.Ep.credits < s.Ep.max_credits then s.Ep.credits <- s.Ep.credits + 1
+  | Ok _ | Error _ -> ()
+
+(* --- unprivileged commands --- *)
+
+let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
+  let bytes = msg.Msg.size + Msg.header_bytes in
+  Noc.send t.noc ~src:t.tile ~dst:dst_tile ~bytes ~on_delivered:(fun () ->
+      match t.lookup_dtu dst_tile with
+      | None ->
+          t.stats <-
+            { t.stats with delivery_failures = t.stats.delivery_failures + 1 };
+          on_credit_fail ();
+          (* Error response travels back to the sender. *)
+          Noc.send t.noc ~src:dst_tile ~dst:t.tile ~bytes:credit_packet_bytes
+            ~on_delivered:(fun () -> k (Error Recv_gone))
+      | Some dst -> (
+          match deliver dst ~dst_ep msg with
+          | Ok () ->
+              (* Completion acknowledgement back to the sending DTU. *)
+              Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                ~bytes:credit_packet_bytes ~on_delivered:(fun () -> k (Ok ()))
+          | Error _ ->
+              t.stats <-
+                {
+                  t.stats with
+                  delivery_failures = t.stats.delivery_failures + 1;
+                };
+              on_credit_fail ();
+              Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                  k (Error Recv_gone))))
+
+let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
+  t.stats <- { t.stats with sends = t.stats.sends + 1 };
+  match get_owned_ep t ep with
+  | Error e -> complete_local t ~k (Error e)
+  | Ok e -> (
+      match e.Ep.cfg with
+      | Ep.Send s -> (
+          if msg_size > s.Ep.max_msg_size then
+            complete_local t ~k (Error Msg_too_large)
+          else
+            match check_vaddr t ~vaddr:src_vaddr ~len:msg_size ~write:false with
+            | Error err -> complete_local t ~k (Error err)
+            | Ok () ->
+                if s.Ep.credits <= 0 then complete_local t ~k (Error No_credits)
+                else begin
+                  s.Ep.credits <- s.Ep.credits - 1;
+                  let reply_to =
+                    match reply_ep with
+                    | Some rep -> Some (t.tile, rep)
+                    | None -> None
+                  in
+                  let msg =
+                    Msg.make ~src_tile:t.tile ~src_act:t.cur ~src_send_ep:ep
+                      ~label:s.Ep.label ?reply_to ~size:msg_size data
+                  in
+                  transmit t ~dst_tile:s.Ep.dst_tile ~dst_ep:s.Ep.dst_ep ~msg
+                    ~on_credit_fail:(fun () ->
+                      if s.Ep.credits < s.Ep.max_credits then
+                        s.Ep.credits <- s.Ep.credits + 1)
+                    ~k
+                end)
+      | Ep.Invalid | Ep.Recv _ | Ep.Mem _ ->
+          complete_local t ~k (Error Wrong_ep_type))
+
+let free_slot t ~ep (msg : Msg.t) =
+  match get_ep t ep with
+  | Ok { Ep.cfg = Ep.Recv r; _ } ->
+      ignore msg;
+      if r.Ep.occupied > 0 then r.Ep.occupied <- r.Ep.occupied - 1;
+      Ok ()
+  | Ok _ -> Error Wrong_ep_type
+  | Error e -> Error e
+
+let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
+  t.stats <- { t.stats with replies = t.stats.replies + 1 };
+  match to_msg.Msg.reply_to with
+  | None -> complete_local t ~k (Error Recv_gone)
+  | Some (dst_tile, dst_ep) -> (
+      match check_vaddr t ~vaddr:src_vaddr ~len:msg_size ~write:false with
+      | Error err -> complete_local t ~k (Error err)
+      | Ok () ->
+          (* REPLY implicitly acknowledges the request: the slot frees and
+             the sender's credit returns piggybacked on the reply. *)
+          (match free_slot t ~ep:recv_ep to_msg with
+          | Ok () -> ()
+          | Error _ -> ());
+          let msg =
+            Msg.make ~src_tile:t.tile ~src_act:t.cur ~label:to_msg.Msg.label
+              ~size:msg_size data
+          in
+          let credit_ep = to_msg.Msg.src_send_ep in
+          let bytes = msg_size + Msg.header_bytes in
+          Noc.send t.noc ~src:t.tile ~dst:dst_tile ~bytes
+            ~on_delivered:(fun () ->
+              match t.lookup_dtu dst_tile with
+              | None -> k (Error Recv_gone)
+              | Some dst ->
+                  (match credit_ep with
+                  | Some cep -> restore_credit dst ~ep:cep
+                  | None -> ());
+                  let result =
+                    match deliver dst ~dst_ep msg with
+                    | Ok () -> Ok ()
+                    | Error e ->
+                        t.stats <-
+                          {
+                            t.stats with
+                            delivery_failures = t.stats.delivery_failures + 1;
+                          };
+                        Error e
+                  in
+                  Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                    ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                      k result)))
+
+let fetch t ~ep =
+  t.stats <- { t.stats with fetches = t.stats.fetches + 1 };
+  match get_owned_ep t ep with
+  | Error e -> Error e
+  | Ok e -> (
+      match e.Ep.cfg with
+      | Ep.Recv r -> (
+          match Queue.take_opt r.Ep.pending with
+          | None -> Ok None
+          | Some msg ->
+              if t.virtualized then begin
+                let cell = unread_cell t e.Ep.owner in
+                if !cell > 0 then decr cell
+              end;
+              Ok (Some msg))
+      | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Wrong_ep_type)
+
+let ack t ~ep msg =
+  t.stats <- { t.stats with acks = t.stats.acks + 1 };
+  match get_owned_ep t ep with
+  | Error e -> Error e
+  | Ok _ -> (
+      match free_slot t ~ep msg with
+      | Error e -> Error e
+      | Ok () ->
+          (match msg.Msg.src_send_ep with
+          | Some sep ->
+              (* Return the credit to the sending DTU. *)
+              Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
+                ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                  match t.lookup_dtu msg.Msg.src_tile with
+                  | Some src_dtu -> restore_credit src_dtu ~ep:sep
+                  | None -> ())
+          | None -> ());
+          Ok ())
+
+let has_msgs t ~ep =
+  match get_owned_ep t ep with
+  | Ok { Ep.cfg = Ep.Recv r; _ } -> not (Queue.is_empty r.Ep.pending)
+  | Ok _ | Error _ -> false
+
+(* --- DMA --- *)
+
+let dma t ~ep ~off ~len ~vaddr ~write ~k ~action =
+  let record () =
+    if write then
+      t.stats <-
+        {
+          t.stats with
+          dma_writes = t.stats.dma_writes + 1;
+          dma_bytes = t.stats.dma_bytes + len;
+        }
+    else
+      t.stats <-
+        {
+          t.stats with
+          dma_reads = t.stats.dma_reads + 1;
+          dma_bytes = t.stats.dma_bytes + len;
+        }
+  in
+  match get_owned_ep t ep with
+  | Error e -> complete_local t ~k (Error e)
+  | Ok e -> (
+      match e.Ep.cfg with
+      | Ep.Mem m ->
+          let perm_ok =
+            if write then perm_allows_write m.Ep.perm
+            else perm_allows_read m.Ep.perm
+          in
+          if not perm_ok then complete_local t ~k (Error No_perm)
+          else if off < 0 || len < 0 || off + len > m.Ep.mem_size then
+            complete_local t ~k (Error Out_of_bounds)
+          else (
+            (* The local buffer must stay within one page; the vDTU checks
+               its TLB once per command (paper, section 3.6). *)
+            match check_vaddr t ~vaddr ~len ~write:(not write) with
+            | Error err -> complete_local t ~k (Error err)
+            | Ok () -> (
+                match t.lookup_mem m.Ep.mem_tile with
+                | None -> complete_local t ~k (Error Out_of_bounds)
+                | Some dram ->
+                    record ();
+                    let phys_off = m.Ep.base + off in
+                    (* Request travels to the memory tile, the DRAM access
+                       is serialized there, and the data crosses the NoC in
+                       whichever direction the command needs. *)
+                    let request_bytes = if write then len + 16 else 16 in
+                    Noc.send t.noc ~src:t.tile ~dst:m.Ep.mem_tile
+                      ~bytes:request_bytes ~on_delivered:(fun () ->
+                        let done_at =
+                          Dram.access_time dram ~now:(Engine.now t.engine)
+                            ~bytes:len
+                        in
+                        Engine.at t.engine ~time:done_at (fun () ->
+                            action dram ~phys_off;
+                            let response_bytes = if write then 8 else len + 8 in
+                            Noc.send t.noc ~src:m.Ep.mem_tile ~dst:t.tile
+                              ~bytes:response_bytes ~on_delivered:(fun () ->
+                                k (Ok ()))))))
+      | Ep.Invalid | Ep.Send _ | Ep.Recv _ ->
+          complete_local t ~k (Error Wrong_ep_type))
+
+let mem_read t ~ep ~off ~len ~dst_vaddr ~dst ~dst_off ~k =
+  dma t ~ep ~off ~len ~vaddr:dst_vaddr ~write:false ~k
+    ~action:(fun dram ~phys_off ->
+      Dram.read_into dram ~off:phys_off ~dst ~dst_off ~len)
+
+let mem_write t ~ep ~off ~len ~src_vaddr ~src ~src_off ~k =
+  dma t ~ep ~off ~len ~vaddr:src_vaddr ~write:true ~k
+    ~action:(fun dram ~phys_off ->
+      Dram.write dram ~off:phys_off ~src ~src_off ~len)
+
+(* --- privileged interface --- *)
+
+let switch_act t ~next =
+  let old = t.cur in
+  let old_unread = unread_of t old in
+  t.cur <- next;
+  (old, old_unread)
+
+let tlb_insert t ~act ~vpage ~ppage ~perm = Tlb.insert t.tlb ~act ~vpage ~ppage ~perm
+let tlb_invalidate_act t act = Tlb.invalidate_act t.tlb act
+let tlb_invalidate_page t ~act ~vpage = Tlb.invalidate_page t.tlb ~act ~vpage
+let fetch_core_req t = Queue.peek_opt t.core_reqs
+
+let ack_core_req t =
+  ignore (Queue.take_opt t.core_reqs);
+  if not (Queue.is_empty t.core_reqs) then
+    Engine.after t.engine ~delay:core_req_repost_ps (fun () ->
+        if not (Queue.is_empty t.core_reqs) then t.core_req_irq ())
+
+let core_req_depth t = Queue.length t.core_reqs
+let set_core_req_irq t f = t.core_req_irq <- f
+let set_msg_arrived t f = t.msg_arrived <- f
+
+(* --- external interface --- *)
+
+let check_ep_index t ep =
+  if ep < 0 || ep >= Array.length t.eps then
+    invalid_arg (Printf.sprintf "Dtu: endpoint %d out of range" ep)
+
+let ext_config t ~ep ~owner cfg =
+  check_ep_index t ep;
+  t.eps.(ep).Ep.cfg <- cfg;
+  t.eps.(ep).Ep.owner <- owner
+
+let ext_invalidate t ~ep =
+  check_ep_index t ep;
+  t.eps.(ep).Ep.cfg <- Ep.Invalid;
+  t.eps.(ep).Ep.owner <- invalid_act
+
+let ext_read_ep t ~ep =
+  check_ep_index t ep;
+  Ep.snapshot t.eps.(ep)
+
+let ext_snapshot_eps t ~first ~count =
+  check_ep_index t first;
+  check_ep_index t (first + count - 1);
+  Array.init count (fun i -> Ep.snapshot t.eps.(first + i))
+
+let ext_restore_eps t ~first eps =
+  Array.iteri
+    (fun i saved ->
+      check_ep_index t (first + i);
+      t.eps.(first + i) <- Ep.snapshot saved)
+    eps
+
+let ext_inject t ~ep msg = deliver t ~dst_ep:ep msg

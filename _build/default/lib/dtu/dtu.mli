@@ -1,0 +1,177 @@
+(** The data transfer unit (DTU) and its virtualized variant (vDTU).
+
+    The DTU provides three interfaces (paper, section 3.4):
+
+    - the {e unprivileged} interface used by activities to exercise existing
+      communication channels (send/reply/fetch/ack, DMA reads and writes);
+    - the {e external} interface used exclusively by the controller over the
+      NoC to configure endpoints and thereby establish channels;
+    - the {e privileged} interface (vDTU only) used by TileMux: the CUR_ACT
+      register, the atomic activity switch, the software-loaded TLB and the
+      core-request queue.
+
+    Commands that move data complete asynchronously: the caller provides a
+    completion continuation which the DTU invokes through the engine once
+    the NoC transfer (and, for DMA, the DRAM access) has finished.  All
+    transfers move real bytes. *)
+
+type t
+
+type completion = (unit, Dtu_types.error) result -> unit
+
+val create :
+  virtualized:bool ->
+  tile:int ->
+  ?ep_count:int ->
+  ?tlb_capacity:int ->
+  M3v_sim.Engine.t ->
+  M3v_noc.Noc.t ->
+  t
+
+(** Wire the DTU into the platform: how to find the DTU of another tile and
+    the DRAM backing of a memory tile. *)
+val connect : t -> lookup_dtu:(int -> t option) -> lookup_mem:(int -> Dram.t option) -> unit
+
+val tile : t -> int
+val virtualized : t -> bool
+val ep_count : t -> int
+
+(** {1 Unprivileged interface} *)
+
+(** [send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k] issues a SEND.
+    Consumes one credit; fails with [Recv_gone] (credit restored) if the
+    remote receive endpoint is invalid or full.  [src_vaddr], when given on
+    a vDTU, is translated through the TLB and must not cross a page. *)
+val send :
+  t ->
+  ep:int ->
+  ?reply_ep:int ->
+  ?src_vaddr:int ->
+  msg_size:int ->
+  Msg.data ->
+  k:completion ->
+  unit
+
+(** [reply t ~to_msg ...] sends a reply through the reply endpoint recorded
+    in [to_msg], without consuming credits, and implicitly acknowledges the
+    message (freeing the receive slot and returning the sender's credit, as
+    M3's REPLY does).  [recv_ep] is the endpoint the message was fetched
+    from. *)
+val reply :
+  t ->
+  recv_ep:int ->
+  to_msg:Msg.t ->
+  ?src_vaddr:int ->
+  msg_size:int ->
+  Msg.data ->
+  k:completion ->
+  unit
+
+(** Fetch the next unread message of a receive endpoint, if any. *)
+val fetch : t -> ep:int -> (Msg.t option, Dtu_types.error) result
+
+(** Acknowledge a fetched message without replying: frees the slot and
+    returns the sender's credit via a credit packet. *)
+val ack : t -> ep:int -> Msg.t -> (unit, Dtu_types.error) result
+
+(** DMA read from a memory endpoint's window into a local buffer.
+    [dst_vaddr] is the local buffer's virtual address (translated on a
+    vDTU). *)
+val mem_read :
+  t ->
+  ep:int ->
+  off:int ->
+  len:int ->
+  dst_vaddr:int option ->
+  dst:bytes ->
+  dst_off:int ->
+  k:completion ->
+  unit
+
+(** DMA write from a local buffer into a memory endpoint's window. *)
+val mem_write :
+  t ->
+  ep:int ->
+  off:int ->
+  len:int ->
+  src_vaddr:int option ->
+  src:bytes ->
+  src_off:int ->
+  k:completion ->
+  unit
+
+(** Whether the endpoint has unread messages (used by polling loops). *)
+val has_msgs : t -> ep:int -> bool
+
+(** {1 Privileged interface (vDTU)} *)
+
+val cur_act : t -> Dtu_types.act_id
+
+(** Unread-message count of the current activity (the CUR_ACT register's
+    counter field). *)
+val cur_unread : t -> int
+
+val unread_of : t -> Dtu_types.act_id -> int
+
+(** Atomically switch to another activity; returns the old activity id and
+    its unread count so TileMux can decide whether the old activity may
+    block (paper, section 3.7). *)
+val switch_act : t -> next:Dtu_types.act_id -> Dtu_types.act_id * int
+
+val tlb_insert :
+  t -> act:Dtu_types.act_id -> vpage:int -> ppage:int -> perm:Dtu_types.perm -> unit
+
+val tlb_invalidate_act : t -> Dtu_types.act_id -> unit
+val tlb_invalidate_page : t -> act:Dtu_types.act_id -> vpage:int -> unit
+val tlb : t -> Tlb.t
+
+(** Head of the core-request queue (the activity that received a message
+    while not running), without removing it. *)
+val fetch_core_req : t -> Dtu_types.act_id option
+
+(** Acknowledge the head core request.  If the queue remains non-empty the
+    vDTU raises the interrupt again shortly after. *)
+val ack_core_req : t -> unit
+
+val core_req_depth : t -> int
+
+(** The interrupt line into the core, handled by TileMux. *)
+val set_core_req_irq : t -> (unit -> unit) -> unit
+
+(** Notification that a message arrived for an activity on this tile
+    (running or not); the runtime uses it to wake pollers. *)
+val set_msg_arrived : t -> (Dtu_types.act_id -> unit) -> unit
+
+(** {1 External interface (controller only)} *)
+
+val ext_config : t -> ep:int -> owner:Dtu_types.act_id -> Ep.config -> unit
+val ext_invalidate : t -> ep:int -> unit
+val ext_read_ep : t -> ep:int -> Ep.t
+
+(** Save / restore a contiguous endpoint range (M3x remote multiplexing). *)
+val ext_snapshot_eps : t -> first:int -> count:int -> Ep.t array
+
+val ext_restore_eps : t -> first:int -> Ep.t array -> unit
+
+(** Deliver a message into a local receive endpoint on behalf of the
+    controller (M3x slow path: the controller forwards messages to
+    recipients once it has switched them in).  NoC timing is charged by the
+    caller. *)
+val ext_inject : t -> ep:int -> Msg.t -> (unit, Dtu_types.error) result
+
+(** {1 Statistics} *)
+
+type stats = {
+  sends : int;
+  replies : int;
+  fetches : int;
+  acks : int;
+  dma_reads : int;
+  dma_writes : int;
+  dma_bytes : int;
+  core_reqs : int;
+  delivery_failures : int;
+  translation_faults : int;
+}
+
+val stats : t -> stats

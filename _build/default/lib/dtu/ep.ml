@@ -1,0 +1,64 @@
+type send = {
+  dst_tile : int;
+  dst_ep : int;
+  label : int;
+  max_msg_size : int;
+  max_credits : int;
+  mutable credits : int;
+}
+
+type recv = {
+  slots : int;
+  slot_size : int;
+  mutable occupied : int;
+  pending : Msg.t Queue.t;
+}
+
+type mem = {
+  mem_tile : int;
+  base : int;
+  mem_size : int;
+  perm : Dtu_types.perm;
+}
+
+type config = Invalid | Send of send | Recv of recv | Mem of mem
+type t = { mutable cfg : config; mutable owner : Dtu_types.act_id }
+
+let make_invalid () = { cfg = Invalid; owner = Dtu_types.invalid_act }
+
+let send_config ~dst_tile ~dst_ep ?(label = 0) ~max_msg_size ~credits () =
+  if credits <= 0 then invalid_arg "Ep.send_config: credits must be positive";
+  Send { dst_tile; dst_ep; label; max_msg_size; max_credits = credits; credits }
+
+let recv_config ~slots ~slot_size () =
+  if slots <= 0 then invalid_arg "Ep.recv_config: slots must be positive";
+  Recv { slots; slot_size; occupied = 0; pending = Queue.create () }
+
+let mem_config ~mem_tile ~base ~size ~perm =
+  if size <= 0 || base < 0 then invalid_arg "Ep.mem_config: bad window";
+  Mem { mem_tile; base; mem_size = size; perm }
+
+let snapshot t =
+  let cfg =
+    match t.cfg with
+    | Invalid -> Invalid
+    | Send s -> Send { s with dst_tile = s.dst_tile }
+    | Recv r ->
+        let pending = Queue.copy r.pending in
+        Recv { r with pending }
+    | Mem m -> Mem { m with mem_tile = m.mem_tile }
+  in
+  { cfg; owner = t.owner }
+
+let pp fmt t =
+  match t.cfg with
+  | Invalid -> Format.pp_print_string fmt "invalid"
+  | Send s ->
+      Format.fprintf fmt "send[->t%d:ep%d credits=%d/%d owner=%a]" s.dst_tile
+        s.dst_ep s.credits s.max_credits Dtu_types.pp_act t.owner
+  | Recv r ->
+      Format.fprintf fmt "recv[slots=%d occ=%d pending=%d owner=%a]" r.slots
+        r.occupied (Queue.length r.pending) Dtu_types.pp_act t.owner
+  | Mem m ->
+      Format.fprintf fmt "mem[t%d base=%#x size=%#x owner=%a]" m.mem_tile m.base
+        m.mem_size Dtu_types.pp_act t.owner

@@ -1,0 +1,47 @@
+(** DTU endpoints.
+
+    Each endpoint is either invalid or configured as a send, receive, or
+    memory endpoint.  Only the controller (via the DTU's external interface)
+    may change endpoint configurations; the vDTU additionally tags every
+    endpoint with the owning activity (paper, sections 2.1 and 3.5). *)
+
+type send = {
+  dst_tile : int;
+  dst_ep : int;
+  label : int;  (** copied into every message sent through this endpoint *)
+  max_msg_size : int;
+  max_credits : int;
+  mutable credits : int;
+}
+
+type recv = {
+  slots : int;  (** receive-buffer capacity in messages *)
+  slot_size : int;  (** maximum message size (incl. header) per slot *)
+  mutable occupied : int;  (** slots holding fetched-but-unacked or unread messages *)
+  pending : Msg.t Queue.t;  (** delivered, not yet fetched *)
+}
+
+type mem = {
+  mem_tile : int;
+  base : int;  (** offset within the memory tile *)
+  mem_size : int;
+  perm : Dtu_types.perm;
+}
+
+type config = Invalid | Send of send | Recv of recv | Mem of mem
+
+type t = { mutable cfg : config; mutable owner : Dtu_types.act_id }
+
+val make_invalid : unit -> t
+
+(** Fresh send configuration with full credits. *)
+val send_config :
+  dst_tile:int -> dst_ep:int -> ?label:int -> max_msg_size:int -> credits:int -> unit -> config
+
+val recv_config : slots:int -> slot_size:int -> unit -> config
+val mem_config : mem_tile:int -> base:int -> size:int -> perm:Dtu_types.perm -> config
+
+(** Deep copy, used by the M3x controller to save endpoint state. *)
+val snapshot : t -> t
+
+val pp : Format.formatter -> t -> unit

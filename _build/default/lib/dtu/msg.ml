@@ -1,0 +1,25 @@
+type data = ..
+type data += Raw of bytes | Empty
+
+type t = {
+  src_tile : int;
+  src_act : Dtu_types.act_id;
+  src_send_ep : int option;
+  label : int;
+  reply_to : (int * int) option;
+  size : int;
+  data : data;
+}
+
+let header_bytes = 16
+
+let make ~src_tile ~src_act ?src_send_ep ?(label = 0) ?reply_to ~size data =
+  if size < 0 then invalid_arg "Msg.make: negative size";
+  { src_tile; src_act; src_send_ep; label; reply_to; size; data }
+
+let pp fmt t =
+  Format.fprintf fmt "msg[from t%d/%a label=%d size=%d%s]" t.src_tile
+    Dtu_types.pp_act t.src_act t.label t.size
+    (match t.reply_to with
+    | Some (tile, ep) -> Printf.sprintf " reply->t%d:ep%d" tile ep
+    | None -> "")

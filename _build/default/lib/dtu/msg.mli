@@ -1,0 +1,37 @@
+(** Messages exchanged between endpoints.
+
+    A message carries a typed payload (an extensible variant, so each
+    service defines its own protocol constructors) plus a declared size in
+    bytes that drives the timing model.  Replies are routed through the
+    reply endpoint recorded in the message, mirroring M3's reply
+    capability. *)
+
+type data = ..
+
+type data += Raw of bytes | Empty
+
+type t = {
+  src_tile : int;
+  src_act : Dtu_types.act_id;
+  src_send_ep : int option;  (** for credit return; [None] for replies *)
+  label : int;  (** send-endpoint label, identifies the channel/session *)
+  reply_to : (int * int) option;  (** (tile, recv endpoint) to reply to *)
+  size : int;  (** payload bytes, for serialization cost *)
+  data : data;
+}
+
+(** Header bytes added to every message on the wire and in receive-buffer
+    slots. *)
+val header_bytes : int
+
+val make :
+  src_tile:int ->
+  src_act:Dtu_types.act_id ->
+  ?src_send_ep:int ->
+  ?label:int ->
+  ?reply_to:int * int ->
+  size:int ->
+  data ->
+  t
+
+val pp : Format.formatter -> t -> unit

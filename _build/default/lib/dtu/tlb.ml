@@ -1,0 +1,74 @@
+type key = Dtu_types.act_id * int
+type entry = { ppage : int; perm : Dtu_types.perm }
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  capacity : int;
+  entries : (key, entry) Hashtbl.t;
+  fifo : key Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  {
+    capacity;
+    entries = Hashtbl.create capacity;
+    fifo = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+
+let lookup t ~act ~vpage ~write =
+  match Hashtbl.find_opt t.entries (act, vpage) with
+  | Some e when (not write) || Dtu_types.perm_allows_write e.perm ->
+      t.hits <- t.hits + 1;
+      Some e.ppage
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_one t =
+  (* The FIFO may contain stale keys for entries already invalidated;
+     skip those. *)
+  let rec loop () =
+    match Queue.take_opt t.fifo with
+    | None -> ()
+    | Some key ->
+        if Hashtbl.mem t.entries key then begin
+          Hashtbl.remove t.entries key;
+          t.evictions <- t.evictions + 1
+        end
+        else loop ()
+  in
+  loop ()
+
+let insert t ~act ~vpage ~ppage ~perm =
+  let key = (act, vpage) in
+  if not (Hashtbl.mem t.entries key) then begin
+    if Hashtbl.length t.entries >= t.capacity then evict_one t;
+    Queue.add key t.fifo
+  end;
+  Hashtbl.replace t.entries key { ppage; perm }
+
+let invalidate_act t act =
+  let stale =
+    Hashtbl.fold (fun (a, p) _ acc -> if a = act then (a, p) :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) stale
+
+let invalidate_page t ~act ~vpage = Hashtbl.remove t.entries (act, vpage)
+
+let flush t =
+  Hashtbl.reset t.entries;
+  Queue.clear t.fifo
+
+let entry_count t = Hashtbl.length t.entries
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }

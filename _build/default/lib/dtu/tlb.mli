@@ -1,0 +1,31 @@
+(** The vDTU's software-loaded TLB (paper, section 3.6).
+
+    The vDTU never walks page tables: on a miss the command fails and the
+    activity asks TileMux (via TMCall) to translate and insert the entry
+    through the privileged interface.  Entries are tagged with the owning
+    activity.  Eviction is FIFO. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+(** [lookup t ~act ~vpage ~write] returns the physical page if present with
+    sufficient permission. *)
+val lookup : t -> act:Dtu_types.act_id -> vpage:int -> write:bool -> int option
+
+val insert :
+  t -> act:Dtu_types.act_id -> vpage:int -> ppage:int -> perm:Dtu_types.perm -> unit
+
+(** Drop all entries of one activity (on activity exit). *)
+val invalidate_act : t -> Dtu_types.act_id -> unit
+
+(** Drop a single page mapping (on unmap/remap). *)
+val invalidate_page : t -> act:Dtu_types.act_id -> vpage:int -> unit
+
+val flush : t -> unit
+val entry_count : t -> int
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : t -> stats

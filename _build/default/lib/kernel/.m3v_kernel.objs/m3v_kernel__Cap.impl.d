@@ -1,0 +1,1 @@
+lib/kernel/cap.ml: Format List M3v_dtu Printf

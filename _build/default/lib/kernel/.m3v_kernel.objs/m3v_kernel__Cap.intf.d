@@ -1,0 +1,1 @@
+lib/kernel/cap.mli: Format M3v_dtu

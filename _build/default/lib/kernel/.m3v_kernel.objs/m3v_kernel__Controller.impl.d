@@ -1,0 +1,1 @@
+lib/kernel/controller.ml: Array Cap Hashtbl List M3v_dtu M3v_noc M3v_sim M3v_tile Option Printf Protocol Queue

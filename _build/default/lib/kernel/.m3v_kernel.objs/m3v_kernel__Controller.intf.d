@@ -1,0 +1,1 @@
+lib/kernel/controller.mli: Cap M3v_dtu M3v_tile

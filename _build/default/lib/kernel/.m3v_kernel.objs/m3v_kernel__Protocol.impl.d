@@ -1,0 +1,1 @@
+lib/kernel/protocol.ml: Format M3v_dtu Printf String

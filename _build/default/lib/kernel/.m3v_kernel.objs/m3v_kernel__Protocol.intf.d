@@ -1,0 +1,1 @@
+lib/kernel/protocol.mli: Format M3v_dtu

@@ -1,0 +1,727 @@
+module Engine = M3v_sim.Engine
+module Time = M3v_sim.Time
+module Noc = M3v_noc.Noc
+module Dtu = M3v_dtu.Dtu
+module Dtu_types = M3v_dtu.Dtu_types
+module Ep = M3v_dtu.Ep
+module Msg = M3v_dtu.Msg
+module Platform = M3v_tile.Platform
+module Core_model = M3v_tile.Core_model
+open Dtu_types
+
+type mode = M3v | M3x
+
+type mx_stub = {
+  mx_save : k:(unit -> unit) -> unit;
+  mx_restore : act_id -> k:(unit -> unit) -> unit;
+}
+
+type act = {
+  aid : act_id;
+  name : string;
+  a_tile : int;
+  caps : (int, Cap.t) Hashtbl.t;
+  mutable next_sel : int;
+  mutable alive : bool;
+  mutable ep_list : int list;  (* endpoints allocated for this activity *)
+  mutable syscall_eps : (int * int) option;
+  (* M3x scheduling state *)
+  mutable mx_blocked : bool;
+  mutable mx_wake_pending : bool;
+  mutable mx_registered : bool;
+}
+
+type mx_tile_state = {
+  mutable cur : act_id option;
+  ready : act_id Queue.t;
+  pending : (act_id, (int * Msg.t) Queue.t) Hashtbl.t;
+      (* deliveries waiting for the activity to be switched in: (ep, msg) *)
+  snapshots : (act_id, (int * Ep.t) list) Hashtbl.t;
+  mutable switching : bool;
+}
+
+type stats = {
+  syscalls : int;
+  mx_switches : int;
+  mx_forwards : int;
+  busy_ps : int;
+}
+
+type t = {
+  mode : mode;
+  platform : Platform.t;
+  tile : int;
+  engine : Engine.t;
+  noc : Noc.t;
+  dtu : Dtu.t;
+  core : Core_model.t;
+  acts : (act_id, act) Hashtbl.t;
+  mutable next_act : act_id;
+  ep_next : int array;  (* per-tile endpoint allocator *)
+  mem_next : (int * int ref) list;  (* (memory tile, bump pointer) *)
+  ep_owners : (int * int, act_id) Hashtbl.t;  (* (tile, recv ep) -> owner *)
+  mx_stubs : (int, mx_stub) Hashtbl.t;
+  mx_tiles : (int, mx_tile_state) Hashtbl.t;
+  tm_rgates : (int, int) Hashtbl.t;  (* tile -> TileMux receive endpoint *)
+  pending_maps : (int, Msg.t) Hashtbl.t;  (* map request id -> pager syscall *)
+  mutable next_map_req : int;
+  mutable busy : bool;
+  mutable stats : stats;
+}
+
+(* --- calibration constants (controller-side costs, in controller-core
+   cycles).  See DESIGN.md section 5 and EXPERIMENTS.md for how these were
+   chosen. --- *)
+let syscall_cycles = 900
+let activate_extra_cycles = 300
+let revoke_per_cap_cycles = 250
+let mx_fwd_cycles = 1_150
+let mx_save_phase_cycles = 2_100
+let mx_restore_phase_cycles = 2_100
+let mx_deliver_cycles = 580
+let ep_save_bytes_per_ep = 32
+
+(* The controller's syscall receive endpoint. *)
+let syscall_ep = 0
+
+let empty_stats = { syscalls = 0; mx_switches = 0; mx_forwards = 0; busy_ps = 0 }
+
+let find_act t aid =
+  match Hashtbl.find_opt t.acts aid with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Controller: unknown activity %d" aid)
+
+let mode t = t.mode
+let tile t = t.tile
+let platform t = t.platform
+let stats t = t.stats
+let reset_stats t = t.stats <- empty_stats
+
+let add_busy t d = t.stats <- { t.stats with busy_ps = t.stats.busy_ps + d }
+
+(* Charge controller compute time, then continue. *)
+let charge t cycles k =
+  let d = Core_model.cycles t.core cycles in
+  add_busy t d;
+  Engine.after t.engine ~delay:d k
+
+(* A synchronous access through a remote DTU's external interface: request
+   over the NoC, apply, acknowledgement back.  The controller is busy for
+   the whole round trip. *)
+let ext_round_trip t ~dst ~bytes ~apply ~k =
+  let started = Engine.now t.engine in
+  Noc.send t.noc ~src:t.tile ~dst ~bytes ~on_delivered:(fun () ->
+      apply ();
+      Noc.send t.noc ~src:dst ~dst:t.tile ~bytes:16 ~on_delivered:(fun () ->
+          add_busy t (Time.sub (Engine.now t.engine) started);
+          k ()))
+
+(* --- host-level setup API --- *)
+
+let host_new_act t ~tile ~name =
+  let aid = t.next_act in
+  t.next_act <- aid + 1;
+  Hashtbl.replace t.acts aid
+    {
+      aid;
+      name;
+      a_tile = tile;
+      caps = Hashtbl.create 16;
+      next_sel = 0;
+      alive = true;
+      ep_list = [];
+      syscall_eps = None;
+      mx_blocked = false;
+      mx_wake_pending = false;
+      mx_registered = false;
+    };
+  aid
+
+let act_name t aid = (find_act t aid).name
+let act_tile t aid = (find_act t aid).a_tile
+
+let host_alloc_ep_anon t ~tile =
+  let ep = t.ep_next.(tile) in
+  if ep >= Dtu.ep_count (Platform.dtu t.platform tile) then
+    failwith (Printf.sprintf "Controller: tile %d out of endpoints" tile);
+  t.ep_next.(tile) <- ep + 1;
+  ep
+
+let host_alloc_ep t ~tile ~act =
+  let ep = host_alloc_ep_anon t ~tile in
+  let a = find_act t act in
+  a.ep_list <- a.ep_list @ [ ep ];
+  ep
+
+let host_alloc_mem t ~size =
+  let rec try_tiles = function
+    | [] -> failwith "Controller: out of physical memory"
+    | (mtile, next) :: rest ->
+        let dram = Platform.dram_exn t.platform mtile in
+        if !next + size <= M3v_dtu.Dram.size dram then begin
+          let base = !next in
+          next := !next + size;
+          (mtile, base)
+        end
+        else try_tiles rest
+  in
+  try_tiles t.mem_next
+
+let new_sel a =
+  let sel = a.next_sel in
+  a.next_sel <- sel + 1;
+  sel
+
+let put_cap a cap = Hashtbl.replace a.caps cap.Cap.sel cap
+
+let host_new_rgate t ~act ~slots ~slot_size =
+  let a = find_act t act in
+  let sel = new_sel a in
+  let cap =
+    Cap.make ~sel ~owner:act
+      (Cap.Rgate { rg_slots = slots; rg_slot_size = slot_size; rg_loc = None })
+  in
+  put_cap a cap;
+  sel
+
+let rgate_of_cap cap =
+  match cap.Cap.obj with
+  | Cap.Rgate rg -> rg
+  | _ -> invalid_arg "Controller: capability is not a receive gate"
+
+let host_new_sgate t ~owner ~rgate_of ~rgate_sel ?(label = 0) ~credits () =
+  let rg_act = find_act t rgate_of in
+  let rgate_cap =
+    match Hashtbl.find_opt rg_act.caps rgate_sel with
+    | Some c -> c
+    | None -> invalid_arg "Controller: unknown rgate selector"
+  in
+  let rg = rgate_of_cap rgate_cap in
+  let a = find_act t owner in
+  let sel = new_sel a in
+  let cap =
+    Cap.derive rgate_cap ~sel ~owner
+      (Cap.Sgate { sg_rgate = rg; sg_label = label; sg_credits = credits })
+  in
+  put_cap a cap;
+  sel
+
+let host_new_mgate t ~act ~mem_tile ~base ~size ~perm =
+  let a = find_act t act in
+  let sel = new_sel a in
+  let cap =
+    Cap.make ~sel ~owner:act
+      (Cap.Mgate { mg_tile = mem_tile; mg_base = base; mg_size = size; mg_perm = perm })
+  in
+  put_cap a cap;
+  sel
+
+let find_cap t ~act ~sel =
+  match Hashtbl.find_opt t.acts act with
+  | None -> None
+  | Some a -> Hashtbl.find_opt a.caps sel
+
+(* Compute the endpoint configuration an activation implies. *)
+let activation_config cap =
+  match cap.Cap.obj with
+  | Cap.Rgate rg ->
+      Ok (Ep.recv_config ~slots:rg.Cap.rg_slots ~slot_size:rg.Cap.rg_slot_size ())
+  | Cap.Sgate { sg_rgate; sg_label; sg_credits } -> (
+      match sg_rgate.Cap.rg_loc with
+      | None -> Error "receive gate not activated yet"
+      | Some (dst_tile, dst_ep) ->
+          Ok
+            (Ep.send_config ~dst_tile ~dst_ep ~label:sg_label
+               ~max_msg_size:(sg_rgate.Cap.rg_slot_size - Msg.header_bytes)
+               ~credits:sg_credits ()))
+  | Cap.Mgate m ->
+      Ok (Ep.mem_config ~mem_tile:m.mg_tile ~base:m.mg_base ~size:m.mg_size ~perm:m.mg_perm)
+
+let apply_activation t ~a ~cap ~ep cfg =
+  let dtu = Platform.dtu t.platform a.a_tile in
+  Dtu.ext_config dtu ~ep ~owner:a.aid cfg;
+  Cap.note_activation cap ~tile:a.a_tile ~ep;
+  (match cap.Cap.obj with
+  | Cap.Rgate rg ->
+      rg.Cap.rg_loc <- Some (a.a_tile, ep);
+      Hashtbl.replace t.ep_owners (a.a_tile, ep) a.aid
+  | Cap.Sgate _ | Cap.Mgate _ -> ())
+
+let host_activate t ~act ~sel ?ep () =
+  let a = find_act t act in
+  let cap =
+    match Hashtbl.find_opt a.caps sel with
+    | Some c when c.Cap.live -> c
+    | Some _ -> invalid_arg "Controller.host_activate: capability revoked"
+    | None -> invalid_arg "Controller.host_activate: unknown selector"
+  in
+  let ep =
+    match ep with Some e -> e | None -> host_alloc_ep t ~tile:a.a_tile ~act
+  in
+  (match activation_config cap with
+  | Ok cfg -> apply_activation t ~a ~cap ~ep cfg
+  | Error msg -> invalid_arg ("Controller.host_activate: " ^ msg));
+  ep
+
+(* Syscall channels: every activity gets a send gate to the controller's
+   syscall receive gate (label = activity id) and a small reply receive
+   gate. *)
+let syscall_slot_size = 512
+
+let host_setup_syscall_channel t ~act =
+  let a = find_act t act in
+  match a.syscall_eps with
+  | Some pair -> pair
+  | None ->
+      let send_ep = host_alloc_ep t ~tile:a.a_tile ~act in
+      let reply_ep = host_alloc_ep t ~tile:a.a_tile ~act in
+      let dtu = Platform.dtu t.platform a.a_tile in
+      Dtu.ext_config dtu ~ep:send_ep ~owner:act
+        (Ep.send_config ~dst_tile:t.tile ~dst_ep:syscall_ep ~label:act
+           ~max_msg_size:(syscall_slot_size - Msg.header_bytes) ~credits:1 ());
+      Dtu.ext_config dtu ~ep:reply_ep ~owner:act
+        (Ep.recv_config ~slots:2 ~slot_size:syscall_slot_size ());
+      Hashtbl.replace t.ep_owners (a.a_tile, reply_ep) act;
+      a.syscall_eps <- Some (send_ep, reply_ep);
+      (send_ep, reply_ep)
+
+let ep_owner t ~tile ~ep = Hashtbl.find_opt t.ep_owners (tile, ep)
+
+let register_tm_rgate t ~tile ~ep = Hashtbl.replace t.tm_rgates tile ep
+
+(* --- M3x machinery --- *)
+
+let register_mx_stub t ~tile stub = Hashtbl.replace t.mx_stubs tile stub
+
+let mx_tile_state t tile =
+  match Hashtbl.find_opt t.mx_tiles tile with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          cur = None;
+          ready = Queue.create ();
+          pending = Hashtbl.create 4;
+          snapshots = Hashtbl.create 4;
+          switching = false;
+        }
+      in
+      Hashtbl.replace t.mx_tiles tile s;
+      s
+
+let mx_stub t tile =
+  match Hashtbl.find_opt t.mx_stubs tile with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Controller: no M3x stub on tile %d" tile)
+
+let snapshot_eps t st a =
+  let dtu = Platform.dtu t.platform a.a_tile in
+  let snap = List.map (fun ep -> (ep, Dtu.ext_read_ep dtu ~ep)) a.ep_list in
+  List.iter (fun ep -> Dtu.ext_invalidate dtu ~ep) a.ep_list;
+  Hashtbl.replace st.snapshots a.aid snap
+
+let restore_eps t st a =
+  let dtu = Platform.dtu t.platform a.a_tile in
+  (match Hashtbl.find_opt st.snapshots a.aid with
+  | Some snap ->
+      List.iter
+        (fun (ep, saved) -> Dtu.ext_restore_eps dtu ~first:ep [| saved |])
+        snap
+  | None -> ());
+  Hashtbl.remove st.snapshots a.aid
+
+let mx_register_act t ~act =
+  let a = find_act t act in
+  let st = mx_tile_state t a.a_tile in
+  a.mx_registered <- true;
+  snapshot_eps t st a;
+  Queue.add act st.ready
+
+let mx_current t ~tile =
+  match Hashtbl.find_opt t.mx_tiles tile with Some s -> s.cur | None -> None
+
+
+let pending_queue st aid =
+  match Hashtbl.find_opt st.pending aid with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace st.pending aid q;
+      q
+
+(* Deliver queued slow-path messages into the (now live) endpoints of an
+   activity, charging controller compute and the controller->tile
+   transfer for each. *)
+let rec deliver_all t ~tile ~dtu q k =
+  match Queue.take_opt q with
+  | None -> k ()
+  | Some (ep, msg) ->
+      charge t mx_deliver_cycles (fun () ->
+          let started = Engine.now t.engine in
+          Noc.send t.noc ~src:t.tile ~dst:tile
+            ~bytes:(msg.Msg.size + Msg.header_bytes) ~on_delivered:(fun () ->
+              add_busy t (Time.sub (Engine.now t.engine) started);
+              (match Dtu.ext_inject dtu ~ep msg with
+              | Ok () -> ()
+              | Error _ -> ());
+              deliver_all t ~tile ~dtu q k))
+
+let rec mx_try_switch t tile_id ~k =
+  let st = mx_tile_state t tile_id in
+  if st.switching then k ()
+  else
+    let cur_act = Option.map (find_act t) st.cur in
+    let cur_busy =
+      match cur_act with Some a -> a.alive && not a.mx_blocked | None -> false
+    in
+    if cur_busy then k ()
+    else
+      match Queue.take_opt st.ready with
+      | None -> k ()
+      | Some next_id ->
+          st.switching <- true;
+          t.stats <- { t.stats with mx_switches = t.stats.mx_switches + 1 };
+          let stub = mx_stub t tile_id in
+          let save_phase k2 =
+            match cur_act with
+            | Some a when a.alive ->
+                charge t mx_save_phase_cycles (fun () ->
+                    stub.mx_save ~k:(fun () ->
+                        ext_round_trip t ~dst:tile_id
+                          ~bytes:(List.length a.ep_list * ep_save_bytes_per_ep)
+                          ~apply:(fun () -> snapshot_eps t st a)
+                          ~k:k2))
+            | Some _ | None -> charge t (mx_save_phase_cycles / 4) k2
+          in
+          save_phase (fun () ->
+              let b = find_act t next_id in
+              charge t mx_restore_phase_cycles (fun () ->
+                  ext_round_trip t ~dst:tile_id
+                    ~bytes:(List.length b.ep_list * ep_save_bytes_per_ep)
+                    ~apply:(fun () -> restore_eps t st b)
+                    ~k:(fun () ->
+                      st.cur <- Some next_id;
+                      b.mx_blocked <- false;
+                      let dtu = Platform.dtu t.platform tile_id in
+                      let q = pending_queue st next_id in
+                      deliver_all t ~tile:tile_id ~dtu q (fun () ->
+                          st.switching <- false;
+                          stub.mx_restore next_id ~k:(fun () ->
+                              (* More ready work may have queued up. *)
+                              mx_try_switch t tile_id ~k)))))
+
+let mx_kick t ~tile = mx_try_switch t tile ~k:(fun () -> ())
+
+let mx_make_ready t a =
+  let st = mx_tile_state t a.a_tile in
+  a.mx_blocked <- false;
+  if st.cur <> Some a.aid && not (Queue.fold (fun f x -> f || x = a.aid) false st.ready)
+  then Queue.add a.aid st.ready
+
+let mx_notify_wake t ~act =
+  let a = find_act t act in
+  let st = mx_tile_state t a.a_tile in
+  if st.cur = Some act && not st.switching then begin
+    if a.mx_blocked then begin
+      a.mx_blocked <- false;
+      (mx_stub t a.a_tile).mx_restore act ~k:(fun () -> ())
+    end
+    else a.mx_wake_pending <- true
+  end
+  else begin
+    a.mx_wake_pending <- true;
+    mx_make_ready t a;
+    mx_try_switch t a.a_tile ~k:(fun () -> ())
+  end
+
+(* --- syscall handling --- *)
+
+let reply_sys t msg rep =
+  let size = Protocol.sys_reply_size rep in
+  Dtu.reply t.dtu ~recv_ep:syscall_ep ~to_msg:msg ~msg_size:size
+    (Protocol.Sys_reply rep) ~k:(fun _ -> ())
+
+let handle_sys t (msg : Msg.t) req ~k =
+  t.stats <- { t.stats with syscalls = t.stats.syscalls + 1 };
+  let requester = find_act t msg.Msg.label in
+  let finish rep =
+    reply_sys t msg rep;
+    k ()
+  in
+  match req with
+  | Protocol.Noop -> finish Protocol.Ok_unit
+  | Protocol.Alloc_mem { size; perm } ->
+      let mem_tile, base = host_alloc_mem t ~size in
+      let sel =
+        host_new_mgate t ~act:requester.aid ~mem_tile ~base ~size ~perm
+      in
+      finish (Protocol.Ok_sel sel)
+  | Protocol.Create_rgate { slots; slot_size } ->
+      let sel = host_new_rgate t ~act:requester.aid ~slots ~slot_size in
+      finish (Protocol.Ok_sel sel)
+  | Protocol.Create_sgate_for { target; rgate_sel; label; credits } -> (
+      match find_cap t ~act:requester.aid ~sel:rgate_sel with
+      | Some rcap when rcap.Cap.live -> (
+          match rcap.Cap.obj with
+          | Cap.Rgate rg ->
+              let b = find_act t target in
+              let sel = new_sel b in
+              let cap =
+                Cap.derive rcap ~sel ~owner:target
+                  (Cap.Sgate { sg_rgate = rg; sg_label = label; sg_credits = credits })
+              in
+              put_cap b cap;
+              finish (Protocol.Ok_sel sel)
+          | Cap.Sgate _ | Cap.Mgate _ ->
+              finish (Protocol.Sys_err "not a receive gate"))
+      | Some _ | None -> finish (Protocol.Sys_err "unknown rgate selector"))
+  | Protocol.Derive_mem_for { target; src_sel; off; len; perm } -> (
+      match find_cap t ~act:requester.aid ~sel:src_sel with
+      | Some mcap when mcap.Cap.live -> (
+          let b = find_act t target in
+          let sel = new_sel b in
+          match Cap.derive_mem mcap ~sel ~owner:target ~off ~len ~perm with
+          | Ok cap ->
+              put_cap b cap;
+              finish (Protocol.Ok_sel sel)
+          | Error e -> finish (Protocol.Sys_err e))
+      | Some _ | None -> finish (Protocol.Sys_err "unknown memory selector"))
+  | Protocol.Activate { sel; ep } -> (
+      match find_cap t ~act:requester.aid ~sel with
+      | Some cap when cap.Cap.live -> (
+          match activation_config cap with
+          | Error e -> finish (Protocol.Sys_err e)
+          | Ok cfg ->
+              let a = requester in
+              let ep =
+                match ep with
+                | Some e -> e
+                | None -> host_alloc_ep t ~tile:a.a_tile ~act:a.aid
+              in
+              charge t activate_extra_cycles (fun () ->
+                  ext_round_trip t ~dst:a.a_tile ~bytes:64
+                    ~apply:(fun () -> apply_activation t ~a ~cap ~ep cfg)
+                    ~k:(fun () -> finish (Protocol.Ok_ep ep))))
+      | Some _ | None -> finish (Protocol.Sys_err "unknown selector"))
+  | Protocol.Revoke { sel } -> (
+      match find_cap t ~act:requester.aid ~sel with
+      | Some cap when cap.Cap.live ->
+          let killed, eps = Cap.revoke cap in
+          (* Remove revoked capabilities from their owners' tables. *)
+          List.iter
+            (fun (c : Cap.t) ->
+              match Hashtbl.find_opt t.acts c.Cap.owner with
+              | Some owner -> Hashtbl.remove owner.caps c.Cap.sel
+              | None -> ())
+            killed;
+          let rec invalidate = function
+            | [] -> finish Protocol.Ok_unit
+            | (tile, ep) :: rest ->
+                charge t revoke_per_cap_cycles (fun () ->
+                    ext_round_trip t ~dst:tile ~bytes:32
+                      ~apply:(fun () ->
+                        Dtu.ext_invalidate (Platform.dtu t.platform tile) ~ep;
+                        Hashtbl.remove t.ep_owners (tile, ep))
+                      ~k:(fun () -> invalidate rest))
+          in
+          invalidate eps
+      | Some _ | None -> finish (Protocol.Sys_err "unknown selector"))
+  | Protocol.Map_for { target; vpage; ppage; perm } -> (
+      let b = find_act t target in
+      match Hashtbl.find_opt t.tm_rgates b.a_tile with
+      | None -> finish (Protocol.Sys_err "no TileMux on target tile")
+      | Some tm_ep ->
+          (* Forward the mapping request to the responsible TileMux; the
+             reply to the pager is deferred until TileMux confirms, but the
+             controller itself moves on (paper, section 4.3). *)
+          let req_id = t.next_map_req in
+          t.next_map_req <- req_id + 1;
+          Hashtbl.replace t.pending_maps req_id msg;
+          let tm_msg =
+            Msg.make ~src_tile:t.tile ~src_act:invalid_act
+              ~reply_to:(t.tile, syscall_ep) ~size:48
+              (Protocol.Tm_map
+                 {
+                   tm_req_id = req_id;
+                   tm_act = target;
+                   tm_vpage = vpage;
+                   tm_ppage = ppage;
+                   tm_perm = perm;
+                 })
+          in
+          let started = Engine.now t.engine in
+          Noc.send t.noc ~src:t.tile ~dst:b.a_tile ~bytes:64
+            ~on_delivered:(fun () ->
+              add_busy t (Time.sub (Engine.now t.engine) started);
+              let dtu = Platform.dtu t.platform b.a_tile in
+              (match Dtu.ext_inject dtu ~ep:tm_ep tm_msg with
+              | Ok () -> ()
+              | Error _ ->
+                  (* TileMux gate full: fail the pager's request. *)
+                  Hashtbl.remove t.pending_maps req_id;
+                  reply_sys t msg (Protocol.Sys_err "TileMux gate full"));
+              k ()))
+  | Protocol.Act_exit { code } ->
+      ignore code;
+      requester.alive <- false;
+      (* One-way: the activity is gone, nobody to reply to. *)
+      ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
+      (match t.mode with
+      | M3x when requester.mx_registered ->
+          let st = mx_tile_state t requester.a_tile in
+          if st.cur = Some requester.aid then st.cur <- None;
+          mx_try_switch t requester.a_tile ~k
+      | M3x | M3v -> k ())
+
+let handle_tm_map_done t (msg : Msg.t) ~req_id ~k =
+  ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
+  (match Hashtbl.find_opt t.pending_maps req_id with
+  | Some pager_msg ->
+      Hashtbl.remove t.pending_maps req_id;
+      reply_sys t pager_msg Protocol.Ok_unit
+  | None -> ());
+  k ()
+
+let handle_mx t (msg : Msg.t) ~k =
+  let sender = find_act t msg.Msg.label in
+  ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
+  match msg.Msg.data with
+  | Protocol.Mx_wake ->
+      charge t (mx_fwd_cycles / 2) (fun () ->
+          let a = sender in
+          let st = mx_tile_state t a.a_tile in
+          if st.cur = Some a.aid && not st.switching then begin
+            if a.mx_blocked then begin
+              a.mx_blocked <- false;
+              (mx_stub t a.a_tile).mx_restore a.aid ~k:(fun () -> ())
+            end
+            else a.mx_wake_pending <- true;
+            k ()
+          end
+          else begin
+            a.mx_wake_pending <- true;
+            mx_make_ready t a;
+            mx_try_switch t a.a_tile ~k
+          end)
+  | Protocol.Mx_block ->
+      charge t (mx_fwd_cycles / 2) (fun () ->
+          if sender.mx_wake_pending then begin
+            sender.mx_wake_pending <- false;
+            mx_notify_wake t ~act:sender.aid;
+            mx_try_switch t sender.a_tile ~k
+          end
+          else begin
+            sender.mx_blocked <- true;
+            mx_try_switch t sender.a_tile ~k
+          end)
+  | Protocol.Mx_yield ->
+      charge t (mx_fwd_cycles / 2) (fun () ->
+          (* The yielder goes to the back of its tile's queue; it counts as
+             blocked so the switch machinery may take it off the core, but
+             it is immediately runnable again. *)
+          let st = mx_tile_state t sender.a_tile in
+          sender.mx_blocked <- true;
+          if not (Queue.fold (fun f x -> f || x = sender.aid) false st.ready)
+          then Queue.add sender.aid st.ready;
+          mx_try_switch t sender.a_tile ~k)
+  | Protocol.Mx_fwd { fwd_dst_tile; fwd_dst_ep; fwd; fwd_block } ->
+      t.stats <- { t.stats with mx_forwards = t.stats.mx_forwards + 1 };
+      charge t mx_fwd_cycles (fun () ->
+          if fwd_block then sender.mx_blocked <- true;
+          (* After handling the forward, the sender's tile may need a switch
+             too (the sender just blocked); the controller stays busy for
+             the whole sequence, which is exactly M3x's bottleneck. *)
+          let then_switch_sender () =
+            if fwd_block then mx_try_switch t sender.a_tile ~k else k ()
+          in
+          match ep_owner t ~tile:fwd_dst_tile ~ep:fwd_dst_ep with
+          | None ->
+              (* Unknown destination: drop the message. *)
+              then_switch_sender ()
+          | Some recipient_id ->
+              let recipient = find_act t recipient_id in
+              let st = mx_tile_state t fwd_dst_tile in
+              if st.cur = Some recipient_id && not st.switching then begin
+                (* Endpoints are live: inject directly and wake locally. *)
+                let dtu = Platform.dtu t.platform fwd_dst_tile in
+                let was_blocked = recipient.mx_blocked in
+                recipient.mx_blocked <- false;
+                let q = Queue.create () in
+                Queue.add (fwd_dst_ep, fwd) q;
+                deliver_all t ~tile:fwd_dst_tile ~dtu q (fun () ->
+                    if was_blocked then
+                      (mx_stub t fwd_dst_tile).mx_restore recipient_id
+                        ~k:(fun () -> ());
+                    then_switch_sender ())
+              end
+              else begin
+                Queue.add (fwd_dst_ep, fwd) (pending_queue st recipient_id);
+                mx_make_ready t recipient;
+                mx_try_switch t fwd_dst_tile ~k:(fun () ->
+                    if fwd_block && sender.a_tile <> fwd_dst_tile then
+                      mx_try_switch t sender.a_tile ~k
+                    else k ())
+              end)
+  | _ -> k ()
+
+(* --- dispatcher --- *)
+
+let rec dispatch t =
+  if not t.busy then
+    match Dtu.fetch t.dtu ~ep:syscall_ep with
+    | Ok (Some msg) ->
+        t.busy <- true;
+        let k () =
+          t.busy <- false;
+          dispatch t
+        in
+        charge t syscall_cycles (fun () ->
+            match msg.Msg.data with
+            | Protocol.Sys req -> handle_sys t msg req ~k
+            | Protocol.Tm_map_done { tm_req_id } ->
+                handle_tm_map_done t msg ~req_id:tm_req_id ~k
+            | Protocol.Mx_fwd _ | Protocol.Mx_block | Protocol.Mx_yield
+            | Protocol.Mx_wake ->
+                handle_mx t msg ~k
+            | _ ->
+                (* Unknown payload: acknowledge and move on. *)
+                ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
+                k ())
+    | Ok None | Error _ -> ()
+
+let create ~mode ~platform ~tile () =
+  let engine = Platform.engine platform in
+  let dtu = Platform.dtu platform tile in
+  let core = Platform.core_exn platform tile in
+  let mem_next =
+    List.map (fun mtile -> (mtile, ref 0)) (Platform.memory_tiles platform)
+  in
+  let t =
+    {
+      mode;
+      platform;
+      tile;
+      engine;
+      noc = Platform.noc platform;
+      dtu;
+      core;
+      acts = Hashtbl.create 32;
+      next_act = 0;
+      ep_next = Array.make (Platform.tile_count platform) 1;
+      mem_next;
+      ep_owners = Hashtbl.create 64;
+      mx_stubs = Hashtbl.create 8;
+      mx_tiles = Hashtbl.create 8;
+      tm_rgates = Hashtbl.create 8;
+      pending_maps = Hashtbl.create 8;
+      next_map_req = 0;
+      busy = false;
+      stats = empty_stats;
+    }
+  in
+  (* Endpoint 0 of the controller tile is the syscall receive gate. *)
+  Dtu.ext_config dtu ~ep:syscall_ep ~owner:Dtu_types.invalid_act
+    (Ep.recv_config ~slots:256 ~slot_size:syscall_slot_size ());
+  t.ep_next.(tile) <- 1;
+  Dtu.set_msg_arrived dtu (fun _ -> dispatch t);
+  t

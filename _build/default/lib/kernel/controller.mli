@@ -1,0 +1,129 @@
+(** The communication controller (M3's "kernel").
+
+    The controller runs on a dedicated tile, knows all activities, and is
+    the only component allowed to establish communication channels: it
+    configures endpoints through the DTUs' external interface, mediated by
+    capability-based access control.  Activities reach it with "system
+    calls" in the form of DTU messages to its receive endpoint 0; the
+    controller is single-threaded and processes one request at a time — the
+    property that makes M3x's remote multiplexing a bottleneck (paper,
+    sections 2.2 and 6.4).
+
+    In [`M3x] mode the controller additionally performs all context switches
+    remotely: it saves/restores endpoint state over the NoC, keeps the
+    per-tile scheduling state, and forwards slow-path messages to
+    not-currently-running activities. *)
+
+type mode = M3v | M3x
+
+type t
+
+(** Per-tile stub the M3x runtime registers so the controller can drive
+    remote context switches.  The callbacks charge tile-side time and call
+    [k] when done. *)
+type mx_stub = {
+  mx_save : k:(unit -> unit) -> unit;
+      (** save the current activity's core state *)
+  mx_restore : M3v_dtu.Dtu_types.act_id -> k:(unit -> unit) -> unit;
+      (** install the activity as current and resume it *)
+}
+
+val create :
+  mode:mode -> platform:M3v_tile.Platform.t -> tile:int -> unit -> t
+
+val mode : t -> mode
+val tile : t -> int
+val platform : t -> M3v_tile.Platform.t
+
+(** {1 Host-level (uncharged) setup API}
+
+    Used by the experiment harness to build a system before measurement
+    starts, mirroring what the boot process and initial syscalls would do. *)
+
+val host_new_act : t -> tile:int -> name:string -> M3v_dtu.Dtu_types.act_id
+val act_name : t -> M3v_dtu.Dtu_types.act_id -> string
+val act_tile : t -> M3v_dtu.Dtu_types.act_id -> int
+
+(** Allocate a fresh endpoint on [tile] for [act]. *)
+val host_alloc_ep : t -> tile:int -> act:M3v_dtu.Dtu_types.act_id -> int
+
+(** Allocate an endpoint that belongs to no activity (TileMux's own
+    endpoints). *)
+val host_alloc_ep_anon : t -> tile:int -> int
+
+(** Allocate physical memory from a memory tile (first fit across memory
+    tiles); returns (memory tile, base offset). *)
+val host_alloc_mem : t -> size:int -> int * int
+
+val host_new_rgate :
+  t -> act:M3v_dtu.Dtu_types.act_id -> slots:int -> slot_size:int -> int
+
+val host_new_sgate :
+  t ->
+  owner:M3v_dtu.Dtu_types.act_id ->
+  rgate_of:M3v_dtu.Dtu_types.act_id ->
+  rgate_sel:int ->
+  ?label:int ->
+  credits:int ->
+  unit ->
+  int
+
+val host_new_mgate :
+  t ->
+  act:M3v_dtu.Dtu_types.act_id ->
+  mem_tile:int ->
+  base:int ->
+  size:int ->
+  perm:M3v_dtu.Dtu_types.perm ->
+  int
+
+(** Configure an endpoint from a capability (immediately, uncharged).
+    Returns the endpoint used. *)
+val host_activate :
+  t -> act:M3v_dtu.Dtu_types.act_id -> sel:int -> ?ep:int -> unit -> int
+
+(** Set up the per-activity syscall channel; returns
+    (send endpoint, reply receive endpoint) on the activity's tile. *)
+val host_setup_syscall_channel : t -> act:M3v_dtu.Dtu_types.act_id -> int * int
+
+(** Look up a capability (tests and services). *)
+val find_cap : t -> act:M3v_dtu.Dtu_types.act_id -> sel:int -> Cap.t option
+
+(** The owning activity of a receive endpoint, if known. *)
+val ep_owner : t -> tile:int -> ep:int -> M3v_dtu.Dtu_types.act_id option
+
+(** Register the TileMux receive endpoint of a tile so the controller can
+    forward mapping requests (paper, section 4.3). *)
+val register_tm_rgate : t -> tile:int -> ep:int -> unit
+
+(** {1 M3x integration} *)
+
+val register_mx_stub : t -> tile:int -> mx_stub -> unit
+
+(** Register an activity with the M3x scheduler: its endpoints are
+    snapshotted and parked; the activity becomes ready and will be switched
+    in when the controller decides. *)
+val mx_register_act : t -> act:M3v_dtu.Dtu_types.act_id -> unit
+
+(** The activity whose endpoints are currently live on [tile]. *)
+val mx_current : t -> tile:int -> M3v_dtu.Dtu_types.act_id option
+
+(** Start M3x scheduling on a tile after boot (switches the first ready
+    activity in). *)
+val mx_kick : t -> tile:int -> unit
+
+(** One-way notification from the M3x runtime that a blocked, current
+    activity woke up locally (fast-path message arrival). *)
+val mx_notify_wake : t -> act:M3v_dtu.Dtu_types.act_id -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  syscalls : int;
+  mx_switches : int;
+  mx_forwards : int;
+  busy_ps : int;  (** total simulated time the controller core was busy *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

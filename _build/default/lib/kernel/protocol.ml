@@ -1,0 +1,89 @@
+type sys_req =
+  | Noop
+  | Alloc_mem of { size : int; perm : M3v_dtu.Dtu_types.perm }
+  | Create_rgate of { slots : int; slot_size : int }
+  | Create_sgate_for of {
+      target : M3v_dtu.Dtu_types.act_id;
+      rgate_sel : int;
+      label : int;
+      credits : int;
+    }
+  | Derive_mem_for of {
+      target : M3v_dtu.Dtu_types.act_id;
+      src_sel : int;
+      off : int;
+      len : int;
+      perm : M3v_dtu.Dtu_types.perm;
+    }
+  | Activate of { sel : int; ep : int option }
+  | Revoke of { sel : int }
+  | Map_for of {
+      target : M3v_dtu.Dtu_types.act_id;
+      vpage : int;
+      ppage : int;
+      perm : M3v_dtu.Dtu_types.perm;
+    }
+  | Act_exit of { code : int }
+
+type sys_reply = Ok_unit | Ok_sel of int | Ok_ep of int | Sys_err of string
+
+type M3v_dtu.Msg.data +=
+  | Sys of sys_req
+  | Sys_reply of sys_reply
+  | Mx_fwd of {
+      fwd_dst_tile : int;
+      fwd_dst_ep : int;
+      fwd : M3v_dtu.Msg.t;
+      fwd_block : bool;
+    }
+  | Mx_block
+  | Mx_yield
+  | Mx_wake
+  | Tm_map of {
+      tm_req_id : int;
+      tm_act : M3v_dtu.Dtu_types.act_id;
+      tm_vpage : int;
+      tm_ppage : int;
+      tm_perm : M3v_dtu.Dtu_types.perm;
+    }
+  | Tm_map_done of { tm_req_id : int }
+
+let sys_req_size = function
+  | Noop -> 8
+  | Alloc_mem _ -> 24
+  | Create_rgate _ -> 24
+  | Create_sgate_for _ -> 40
+  | Derive_mem_for _ -> 48
+  | Activate _ -> 24
+  | Revoke _ -> 16
+  | Map_for _ -> 40
+  | Act_exit _ -> 16
+
+let sys_reply_size = function
+  | Ok_unit -> 8
+  | Ok_sel _ | Ok_ep _ -> 16
+  | Sys_err s -> 8 + String.length s
+
+let pp_sys_req fmt = function
+  | Noop -> Format.pp_print_string fmt "noop"
+  | Alloc_mem { size; _ } -> Format.fprintf fmt "alloc_mem(%d)" size
+  | Create_rgate { slots; slot_size } ->
+      Format.fprintf fmt "create_rgate(%dx%d)" slots slot_size
+  | Create_sgate_for { target; rgate_sel; _ } ->
+      Format.fprintf fmt "create_sgate_for(act%d, sel%d)" target rgate_sel
+  | Derive_mem_for { target; src_sel; off; len; _ } ->
+      Format.fprintf fmt "derive_mem_for(act%d, sel%d, +%#x, %#x)" target src_sel
+        off len
+  | Activate { sel; ep } ->
+      Format.fprintf fmt "activate(sel%d%s)" sel
+        (match ep with Some e -> Printf.sprintf ", ep%d" e | None -> "")
+  | Revoke { sel } -> Format.fprintf fmt "revoke(sel%d)" sel
+  | Map_for { target; vpage; ppage; _ } ->
+      Format.fprintf fmt "map_for(act%d, v%#x -> p%#x)" target vpage ppage
+  | Act_exit { code } -> Format.fprintf fmt "exit(%d)" code
+
+let pp_sys_reply fmt = function
+  | Ok_unit -> Format.pp_print_string fmt "ok"
+  | Ok_sel s -> Format.fprintf fmt "ok(sel%d)" s
+  | Ok_ep e -> Format.fprintf fmt "ok(ep%d)" e
+  | Sys_err e -> Format.fprintf fmt "err(%s)" e

@@ -1,0 +1,1 @@
+lib/linux/linux_sim.ml: Bytes Hashtbl List Lx_ops M3v_mux M3v_os M3v_sim M3v_tile Printf Queue

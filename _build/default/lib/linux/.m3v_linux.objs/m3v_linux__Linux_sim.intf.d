@@ -1,0 +1,1 @@
+lib/linux/linux_sim.mli: M3v_os M3v_sim M3v_tile

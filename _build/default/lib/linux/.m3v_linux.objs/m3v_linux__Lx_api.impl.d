@@ -1,0 +1,1 @@
+lib/linux/lx_api.ml: Lx_ops M3v_os M3v_sim

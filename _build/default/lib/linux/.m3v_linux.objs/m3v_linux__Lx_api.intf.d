@@ -1,0 +1,1 @@
+lib/linux/lx_api.mli: M3v_mux M3v_os M3v_sim Proc

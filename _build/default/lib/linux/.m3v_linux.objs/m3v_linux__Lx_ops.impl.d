@@ -1,0 +1,1 @@
+lib/linux/lx_ops.ml: M3v_mux M3v_os M3v_sim

@@ -1,0 +1,86 @@
+module Proc = M3v_sim.Proc
+open Lx_ops
+
+let unit_resp what = function
+  | Proc.Unit -> ()
+  | r -> Proc.decode_error what r
+
+let int_resp what = function L_int n -> n | r -> Proc.decode_error what r
+
+let noop_syscall = Proc.perform Lx_noop_syscall (unit_resp "noop_syscall")
+let yield = Proc.perform Lx_yield (unit_resp "yield")
+
+let open_ path flags =
+  Proc.perform (Lx_open { o_path = path; o_flags = flags }) (function
+    | L_result r -> r
+    | r -> Proc.decode_error "open" r)
+
+let read ~fd ~buf ~len =
+  Proc.perform (Lx_read { r_fd = fd; r_buf = buf; r_len = len }) (int_resp "read")
+
+let write ~fd ~buf ~len =
+  Proc.perform (Lx_write { w_fd = fd; w_buf = buf; w_len = len }) (int_resp "write")
+
+let seek ~fd ~pos =
+  Proc.perform (Lx_seek { s_fd = fd; s_pos = pos }) (unit_resp "seek")
+
+let close ~fd = Proc.perform (Lx_close fd) (unit_resp "close")
+
+let stat path =
+  Proc.perform (Lx_stat path) (function
+    | L_stat r -> r
+    | r -> Proc.decode_error "stat" r)
+
+let readdir path =
+  Proc.perform (Lx_readdir path) (function
+    | L_names r -> r
+    | r -> Proc.decode_error "readdir" r)
+
+let mkdir path =
+  Proc.perform (Lx_mkdir path) (function
+    | L_unit_result r -> r
+    | r -> Proc.decode_error "mkdir" r)
+
+let unlink path =
+  Proc.perform (Lx_unlink path) (function
+    | L_unit_result r -> r
+    | r -> Proc.decode_error "unlink" r)
+
+let socket = Proc.perform Lx_socket (int_resp "socket")
+
+let bind ~sock ~port =
+  Proc.perform (Lx_bind { b_sock = sock; b_port = port }) (unit_resp "bind")
+
+let sendto ~sock ~dst data =
+  Proc.perform
+    (Lx_sendto { sd_sock = sock; sd_dst = dst; sd_data = data })
+    (unit_resp "sendto")
+
+let recvfrom ~sock =
+  Proc.perform (Lx_recvfrom { rc_sock = sock }) (function
+    | L_pkt (src, data) -> (src, data)
+    | r -> Proc.decode_error "recvfrom" r)
+
+let sock_close ~sock = Proc.perform (Lx_sock_close sock) (unit_resp "sock_close")
+
+let vfs =
+  {
+    M3v_os.Vfs.open_;
+    read = (fun fd buf len -> read ~fd ~buf ~len);
+    write = (fun fd buf len -> write ~fd ~buf ~len);
+    seek = (fun fd pos -> seek ~fd ~pos);
+    close = (fun fd -> close ~fd);
+    stat;
+    readdir;
+    mkdir;
+    unlink;
+  }
+
+let udp =
+  {
+    M3v_os.Net_client.u_socket = (fun () -> socket);
+    u_bind = (fun sock port -> bind ~sock ~port);
+    u_sendto = (fun sock dst data -> sendto ~sock ~dst data);
+    u_recvfrom = (fun sock -> recvfrom ~sock);
+    u_close = (fun sock -> sock_close ~sock);
+  }

@@ -1,0 +1,27 @@
+(** Direct-style wrappers for Linux processes, mirroring {!M3v_mux.Act_api}
+    and yielding the same portable {!M3v_os.Vfs.t} / UDP interfaces so that
+    applications run unchanged on both systems. *)
+
+open M3v_sim
+
+val noop_syscall : unit Proc.t
+val yield : unit Proc.t
+
+val open_ : string -> M3v_os.Fs_proto.open_flags -> (int, string) result Proc.t
+val read : fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int Proc.t
+val write : fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int Proc.t
+val seek : fd:int -> pos:int -> unit Proc.t
+val close : fd:int -> unit Proc.t
+val stat : string -> (M3v_os.Fs_proto.fs_rep, string) result Proc.t
+val readdir : string -> (string list, string) result Proc.t
+val mkdir : string -> (unit, string) result Proc.t
+val unlink : string -> (unit, string) result Proc.t
+
+val socket : int Proc.t
+val bind : sock:int -> port:int -> unit Proc.t
+val sendto : sock:int -> dst:M3v_os.Net_proto.addr -> bytes -> unit Proc.t
+val recvfrom : sock:int -> (M3v_os.Net_proto.addr * bytes) Proc.t
+val sock_close : sock:int -> unit Proc.t
+
+val vfs : M3v_os.Vfs.t
+val udp : M3v_os.Net_client.udp

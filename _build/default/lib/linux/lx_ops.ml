@@ -1,0 +1,25 @@
+type M3v_sim.Proc.op +=
+  | Lx_noop_syscall
+  | Lx_yield
+  | Lx_open of { o_path : string; o_flags : M3v_os.Fs_proto.open_flags }
+  | Lx_read of { r_fd : int; r_buf : M3v_mux.Act_ops.buf; r_len : int }
+  | Lx_write of { w_fd : int; w_buf : M3v_mux.Act_ops.buf; w_len : int }
+  | Lx_seek of { s_fd : int; s_pos : int }
+  | Lx_close of int
+  | Lx_stat of string
+  | Lx_readdir of string
+  | Lx_mkdir of string
+  | Lx_unlink of string
+  | Lx_socket
+  | Lx_bind of { b_sock : int; b_port : int }
+  | Lx_sendto of { sd_sock : int; sd_dst : M3v_os.Net_proto.addr; sd_data : bytes }
+  | Lx_recvfrom of { rc_sock : int }
+  | Lx_sock_close of int
+
+type M3v_sim.Proc.resp +=
+  | L_int of int
+  | L_result of (int, string) result
+  | L_names of (string list, string) result
+  | L_unit_result of (unit, string) result
+  | L_stat of (M3v_os.Fs_proto.fs_rep, string) result
+  | L_pkt of M3v_os.Net_proto.addr * bytes

@@ -1,0 +1,1 @@
+lib/mux/act_api.ml: Act_ops Bytes Format M3v_dtu M3v_kernel M3v_sim Proc

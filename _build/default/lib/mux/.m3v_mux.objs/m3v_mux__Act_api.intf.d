@@ -1,0 +1,1 @@
+lib/mux/act_api.mli: Act_ops M3v_dtu M3v_kernel M3v_sim Proc

@@ -1,0 +1,1 @@
+lib/mux/act_ops.ml: M3v_dtu M3v_sim

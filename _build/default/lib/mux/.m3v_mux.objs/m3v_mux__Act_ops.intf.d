@@ -1,0 +1,1 @@
+lib/mux/act_ops.mli: M3v_dtu M3v_sim

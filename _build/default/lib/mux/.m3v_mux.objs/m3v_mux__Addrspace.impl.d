@@ -1,0 +1,1 @@
+lib/mux/addrspace.ml: Hashtbl M3v_dtu

@@ -1,0 +1,1 @@
+lib/mux/addrspace.mli: M3v_dtu

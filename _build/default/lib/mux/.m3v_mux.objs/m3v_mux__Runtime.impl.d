@@ -1,0 +1,1 @@
+lib/mux/runtime.ml: Act_api Act_ops Addrspace Hashtbl List M3v_dtu M3v_kernel M3v_sim M3v_tile Printf Queue

@@ -1,0 +1,1 @@
+lib/mux/runtime.mli: Act_api M3v_dtu M3v_kernel M3v_sim

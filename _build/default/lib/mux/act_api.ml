@@ -1,0 +1,103 @@
+open M3v_sim
+open Act_ops
+module Proto = M3v_kernel.Protocol
+
+type env = {
+  aid : M3v_dtu.Dtu_types.act_id;
+  tile : int;
+  sys_sgate : int;
+  sys_rgate : int;
+}
+
+let decode_unit what = function
+  | Proc.Unit -> ()
+  | r -> Proc.decode_error what r
+
+let decode_msg what = function
+  | R_msg (ep, m) -> (ep, m)
+  | r -> Proc.decode_error what r
+
+let decode_msg_opt what = function
+  | R_msg_opt m -> m
+  | r -> Proc.decode_error what r
+
+let compute cycles =
+  if cycles = 0 then Proc.return ()
+  else Proc.perform (Op_compute cycles) (decode_unit "compute")
+
+let send ~ep ?reply_ep ?vaddr ~size data =
+  Proc.perform
+    (Op_send { s_ep = ep; s_reply_ep = reply_ep; s_vaddr = vaddr; s_size = size; s_data = data })
+    (decode_unit "send")
+
+let recv ~eps = Proc.perform (Op_recv { r_eps = eps }) (decode_msg "recv")
+let try_recv ~eps = Proc.perform (Op_try_recv { tr_eps = eps }) (decode_msg_opt "try_recv")
+
+let reply ~recv_ep ~msg ?vaddr ~size data =
+  Proc.perform
+    (Op_reply
+       { rp_recv_ep = recv_ep; rp_msg = msg; rp_vaddr = vaddr; rp_size = size; rp_data = data })
+    (decode_unit "reply")
+
+let ack ~ep msg = Proc.perform (Op_ack { a_ep = ep; a_msg = msg }) (decode_unit "ack")
+
+let mem_read ~ep ~off ~len ?vaddr ~dst ?(dst_off = 0) () =
+  Proc.perform
+    (Op_mem_read
+       { mr_ep = ep; mr_off = off; mr_len = len; mr_vaddr = vaddr; mr_dst = dst; mr_dst_off = dst_off })
+    (decode_unit "mem_read")
+
+let mem_write ~ep ~off ~len ?vaddr ~src ?(src_off = 0) () =
+  Proc.perform
+    (Op_mem_write
+       { mw_ep = ep; mw_off = off; mw_len = len; mw_vaddr = vaddr; mw_src = src; mw_src_off = src_off })
+    (decode_unit "mem_write")
+
+let memcpy bytes =
+  if bytes = 0 then Proc.return ()
+  else Proc.perform (Op_memcpy bytes) (decode_unit "memcpy")
+
+let yield = Proc.perform Op_yield (decode_unit "yield")
+
+let now =
+  Proc.perform Op_now (function R_time t -> t | r -> Proc.decode_error "now" r)
+
+let alloc_buf size =
+  Proc.perform (Op_alloc_buf size) (function
+    | R_vaddr vaddr -> { vaddr; data = Bytes.create size }
+    | r -> Proc.decode_error "alloc_buf" r)
+
+let touch ?(off = 0) ?len ~write buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf.data - off in
+  Proc.perform
+    (Op_touch { t_vaddr = buf.vaddr + off; t_len = len; t_write = write })
+    (decode_unit "touch")
+
+let acct bucket = Proc.perform (Op_acct bucket) (decode_unit "acct")
+let log msg = Proc.perform (Op_log msg) (decode_unit "log")
+
+let call ~sgate ~reply_ep ?vaddr ~size data =
+  let open Proc.Syntax in
+  let* () = send ~ep:sgate ~reply_ep ?vaddr ~size data in
+  let* _ep, msg = recv ~eps:[ reply_ep ] in
+  let* () = ack ~ep:reply_ep msg in
+  Proc.return msg
+
+let syscall env req =
+  let open Proc.Syntax in
+  let* msg =
+    call ~sgate:env.sys_sgate ~reply_ep:env.sys_rgate
+      ~size:(Proto.sys_req_size req) (Proto.Sys req)
+  in
+  match msg.M3v_dtu.Msg.data with
+  | Proto.Sys_reply rep -> Proc.return rep
+  | _ -> failwith "Act_api.syscall: malformed controller reply"
+
+let syscall_exn env req =
+  let open Proc.Syntax in
+  let* rep = syscall env req in
+  match rep with
+  | Proto.Sys_err e ->
+      failwith
+        (Format.asprintf "syscall %a failed: %s" Proto.pp_sys_req req e)
+  | rep -> Proc.return rep

@@ -1,0 +1,87 @@
+(** Typed, direct-style API over the activity primitives.
+
+    All functions return [Proc] processes; compose them with
+    [M3v_sim.Proc.Syntax].  Communication errors that a real activity
+    library would handle internally (credit exhaustion, vDTU TLB misses,
+    M3x slow-path fallback) are handled by the runtime — programs written
+    against this API are placement- and system-variant-agnostic. *)
+
+open M3v_sim
+
+(** Environment handed to an activity at spawn time. *)
+type env = {
+  aid : M3v_dtu.Dtu_types.act_id;
+  tile : int;
+  sys_sgate : int;  (** send endpoint to the controller's syscall gate *)
+  sys_rgate : int;  (** receive endpoint for syscall replies *)
+}
+
+val compute : int -> unit Proc.t
+(** [compute cycles] *)
+
+val send :
+  ep:int ->
+  ?reply_ep:int ->
+  ?vaddr:int ->
+  size:int ->
+  M3v_dtu.Msg.data ->
+  unit Proc.t
+
+(** Wait for the next message on any of [eps]; returns (endpoint, message). *)
+val recv : eps:int list -> (int * M3v_dtu.Msg.t) Proc.t
+
+val try_recv : eps:int list -> (int * M3v_dtu.Msg.t) option Proc.t
+
+val reply :
+  recv_ep:int ->
+  msg:M3v_dtu.Msg.t ->
+  ?vaddr:int ->
+  size:int ->
+  M3v_dtu.Msg.data ->
+  unit Proc.t
+
+val ack : ep:int -> M3v_dtu.Msg.t -> unit Proc.t
+
+val mem_read :
+  ep:int ->
+  off:int ->
+  len:int ->
+  ?vaddr:int ->
+  dst:bytes ->
+  ?dst_off:int ->
+  unit ->
+  unit Proc.t
+
+val mem_write :
+  ep:int ->
+  off:int ->
+  len:int ->
+  ?vaddr:int ->
+  src:bytes ->
+  ?src_off:int ->
+  unit ->
+  unit Proc.t
+
+val memcpy : int -> unit Proc.t
+val yield : unit Proc.t
+val now : M3v_sim.Time.t Proc.t
+val alloc_buf : int -> Act_ops.buf Proc.t
+val touch : ?off:int -> ?len:int -> write:bool -> Act_ops.buf -> unit Proc.t
+val acct : string -> unit Proc.t
+val log : string -> unit Proc.t
+
+(** A full RPC: send with [reply_ep], wait for the reply on it, acknowledge
+    it, return the reply. *)
+val call :
+  sgate:int ->
+  reply_ep:int ->
+  ?vaddr:int ->
+  size:int ->
+  M3v_dtu.Msg.data ->
+  M3v_dtu.Msg.t Proc.t
+
+(** Issue a system call to the controller and return its reply. *)
+val syscall : env -> M3v_kernel.Protocol.sys_req -> M3v_kernel.Protocol.sys_reply Proc.t
+
+(** Like [syscall] but failing hard on [Sys_err] (setup-style calls). *)
+val syscall_exn : env -> M3v_kernel.Protocol.sys_req -> M3v_kernel.Protocol.sys_reply Proc.t

@@ -1,0 +1,50 @@
+type buf = { vaddr : int; data : bytes }
+
+type M3v_sim.Proc.op +=
+  | Op_compute of int
+  | Op_send of {
+      s_ep : int;
+      s_reply_ep : int option;
+      s_vaddr : int option;
+      s_size : int;
+      s_data : M3v_dtu.Msg.data;
+    }
+  | Op_recv of { r_eps : int list }
+  | Op_try_recv of { tr_eps : int list }
+  | Op_reply of {
+      rp_recv_ep : int;
+      rp_msg : M3v_dtu.Msg.t;
+      rp_vaddr : int option;
+      rp_size : int;
+      rp_data : M3v_dtu.Msg.data;
+    }
+  | Op_ack of { a_ep : int; a_msg : M3v_dtu.Msg.t }
+  | Op_mem_read of {
+      mr_ep : int;
+      mr_off : int;
+      mr_len : int;
+      mr_vaddr : int option;
+      mr_dst : bytes;
+      mr_dst_off : int;
+    }
+  | Op_mem_write of {
+      mw_ep : int;
+      mw_off : int;
+      mw_len : int;
+      mw_vaddr : int option;
+      mw_src : bytes;
+      mw_src_off : int;
+    }
+  | Op_memcpy of int
+  | Op_yield
+  | Op_now
+  | Op_alloc_buf of int
+  | Op_touch of { t_vaddr : int; t_len : int; t_write : bool }
+  | Op_acct of string
+  | Op_log of string
+
+type M3v_sim.Proc.resp +=
+  | R_msg of int * M3v_dtu.Msg.t
+  | R_msg_opt of (int * M3v_dtu.Msg.t) option
+  | R_time of M3v_sim.Time.t
+  | R_vaddr of int

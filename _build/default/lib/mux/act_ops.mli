@@ -1,0 +1,62 @@
+(** The primitive operations activity code can request from its runtime.
+
+    Activity, service, and benchmark programs are [Proc] processes over
+    these operations.  The same programs run unchanged on the M3v runtime
+    (TileMux + vDTU), the M3x runtime (remote multiplexing), and — for the
+    POSIX-level subset exposed through the libc shim — the Linux model;
+    this is the paper's "transparent multiplexing" property at the source
+    level. *)
+
+(** A buffer in the activity's address space: real bytes plus the virtual
+    address the vDTU sees (for TLB checks and demand paging). *)
+type buf = { vaddr : int; data : bytes }
+
+type M3v_sim.Proc.op +=
+  | Op_compute of int  (** burn N core cycles *)
+  | Op_send of {
+      s_ep : int;
+      s_reply_ep : int option;
+      s_vaddr : int option;
+      s_size : int;
+      s_data : M3v_dtu.Msg.data;
+    }
+  | Op_recv of { r_eps : int list }  (** fetch next message or block *)
+  | Op_try_recv of { tr_eps : int list }
+  | Op_reply of {
+      rp_recv_ep : int;
+      rp_msg : M3v_dtu.Msg.t;
+      rp_vaddr : int option;
+      rp_size : int;
+      rp_data : M3v_dtu.Msg.data;
+    }
+  | Op_ack of { a_ep : int; a_msg : M3v_dtu.Msg.t }
+  | Op_mem_read of {
+      mr_ep : int;
+      mr_off : int;
+      mr_len : int;
+      mr_vaddr : int option;
+      mr_dst : bytes;
+      mr_dst_off : int;
+    }
+  | Op_mem_write of {
+      mw_ep : int;
+      mw_off : int;
+      mw_len : int;
+      mw_vaddr : int option;
+      mw_src : bytes;
+      mw_src_off : int;
+    }
+  | Op_memcpy of int  (** charge a software copy of N bytes *)
+  | Op_yield
+  | Op_now
+  | Op_alloc_buf of int  (** reserve a virtual region of N bytes *)
+  | Op_touch of { t_vaddr : int; t_len : int; t_write : bool }
+      (** touch pages with the core (page faults on unmapped pages) *)
+  | Op_acct of string  (** switch the accounting bucket of charged time *)
+  | Op_log of string
+
+type M3v_sim.Proc.resp +=
+  | R_msg of int * M3v_dtu.Msg.t  (** endpoint it arrived on, message *)
+  | R_msg_opt of (int * M3v_dtu.Msg.t) option
+  | R_time of M3v_sim.Time.t
+  | R_vaddr of int

@@ -1,0 +1,833 @@
+module Engine = M3v_sim.Engine
+module Time = M3v_sim.Time
+module Proc = M3v_sim.Proc
+module Stats = M3v_sim.Stats
+module Dtu = M3v_dtu.Dtu
+module Dtu_types = M3v_dtu.Dtu_types
+module Ep = M3v_dtu.Ep
+module Msg = M3v_dtu.Msg
+module Core_model = M3v_tile.Core_model
+module Platform = M3v_tile.Platform
+module Controller = M3v_kernel.Controller
+module Proto = M3v_kernel.Protocol
+open Dtu_types
+open Act_ops
+
+type mode = M3v_mode | M3x_mode
+
+(* Page-fault message from TileMux to the pager service. *)
+type Msg.data +=
+  | Pf_fault of { pf_act : act_id; pf_vpage : int; pf_write : bool }
+
+type astate =
+  | Ready  (** runnable, waiting in the run queue *)
+  | Running
+  | Stalled  (** core is polling a DTU command to completion *)
+  | Blocked_recv  (** waiting for a message *)
+  | Blocked_fault  (** waiting for the pager *)
+  | Polling  (** current and spinning on its receive endpoints *)
+  | Dead
+
+type arec = {
+  aid : act_id;
+  aname : string;
+  env : Act_api.env;
+  program : Act_api.env -> unit Proc.t;
+  premap : bool;
+  addr : Addrspace.t;
+  mutable st : astate;
+  mutable resume : (unit -> unit) option;
+  mutable wait_eps : int list;
+  mutable slice_left : Time.t;
+  mutable busy_ps : int;
+  mutable bucket : string;
+  mutable started : bool;
+  mutable wake_sent : bool;  (** M3x: an Mx_wake is outstanding *)
+  mutable stall_since : Time.t;
+}
+
+type t = {
+  rmode : mode;
+  rtile : int;
+  engine : Engine.t;
+  dtu : Dtu.t;
+  core : Core_model.t;
+  ctrl : Controller.t;
+  timeslice : Time.t;
+  acts : (act_id, arec) Hashtbl.t;
+  mutable spawn_order : act_id list;
+  runq : act_id Queue.t;
+  mutable current : act_id option;
+  mutable irq_pending : bool;
+  mutable dispatch_pending : bool;
+  mutable in_mux : bool;  (** TileMux code is running (interrupts disabled) *)
+  (* TileMux's own communication (page-fault RPCs to the pager) *)
+  tm_rgate : int;  (** valid in M3v mode *)
+  mutable pager_sgate : int option;
+  mutable tm_cont : (Msg.t -> unit) option;
+  tm_queue : (Msg.data * int * (Msg.t -> unit)) Queue.t;
+  mutable next_ppage : int;
+  counters : Stats.Counter.t;
+  mutable mux_busy_ps : int;
+}
+
+let mode t = t.rmode
+let tile t = t.rtile
+let counters t = t.counters
+let mux_busy t = t.mux_busy_ps
+
+let find t aid =
+  match Hashtbl.find_opt t.acts aid with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Runtime: unknown activity %d on tile %d" aid t.rtile)
+
+let busy_of t aid = (find t aid).busy_ps
+
+let busy_of_bucket t bucket = Stats.Counter.get t.counters ("bucket/" ^ bucket)
+
+let finished t aid = (find t aid).st = Dead
+
+let all_finished t =
+  Hashtbl.fold (fun _ a acc -> acc && a.st = Dead) t.acts true
+
+(* --- time charging --- *)
+
+let charge_act t (a : arec) cycles k =
+  if cycles <= 0 then k ()
+  else begin
+    let d = Core_model.cycles t.core cycles in
+    a.busy_ps <- a.busy_ps + d;
+    Stats.Counter.add t.counters ("bucket/" ^ a.bucket) (float_of_int d);
+    Engine.after t.engine ~delay:d k
+  end
+
+(* Multiplexer bookkeeping time: accounted separately from activities. *)
+let charge_mux t cycles k =
+  if cycles <= 0 then k ()
+  else begin
+    let d = Core_model.cycles t.core cycles in
+    t.mux_busy_ps <- t.mux_busy_ps + d;
+    Stats.Counter.add t.counters "bucket/mux" (float_of_int d);
+    Engine.after t.engine ~delay:d k
+  end
+
+let note_stall_start (a : arec) ~now = a.stall_since <- now
+
+let note_stall_end t (a : arec) ~now =
+  let d = Time.sub now a.stall_since in
+  if d > 0 then begin
+    a.busy_ps <- a.busy_ps + d;
+    Stats.Counter.add t.counters ("bucket/" ^ a.bucket) (float_of_int d)
+  end
+
+(* --- scheduling --- *)
+
+let others_ready t = not (Queue.is_empty t.runq)
+
+let make_ready t (a : arec) =
+  match a.st with
+  | Blocked_recv | Blocked_fault ->
+      a.st <- Ready;
+      Queue.add a.aid t.runq
+  | Ready | Running | Stalled | Polling | Dead -> ()
+
+let rec schedule_dispatch t =
+  if t.rmode = M3v_mode && not t.dispatch_pending then begin
+    t.dispatch_pending <- true;
+    Engine.after t.engine ~delay:0 (fun () ->
+        t.dispatch_pending <- false;
+        do_dispatch t)
+  end
+
+and do_dispatch t =
+  if t.current = None && Dtu.core_req_depth t.dtu > 0 then
+    handle_core_reqs t ~k:(fun () -> do_dispatch t)
+  else if t.current = None then
+    match Queue.take_opt t.runq with
+    | None -> () (* idle *)
+    | Some aid -> (
+        let a = find t aid in
+        match a.st with
+        | Ready ->
+            a.st <- Running;
+            t.current <- Some aid;
+            Stats.Counter.incr t.counters "ctx_switch";
+            (* Schedule + register/address-space switch + the vDTU's atomic
+               activity-switch command (2 MMIO accesses). *)
+            charge_mux t
+              (t.core.Core_model.sched_cycles + t.core.Core_model.ctx_switch_cycles
+             + (2 * t.core.Core_model.mmio_cycles))
+              (fun () ->
+                let old, old_unread = Dtu.switch_act t.dtu ~next:aid in
+                (* Lost-wakeup check (paper, section 3.7): if the departing
+                   activity accumulated messages while blocking, keep it
+                   ready. *)
+                (if (not (is_reserved_act old)) && old_unread > 0 then
+                   match Hashtbl.find_opt t.acts old with
+                   | Some oa when oa.st = Blocked_recv -> make_ready t oa
+                   | Some _ | None -> ());
+                a.slice_left <- t.timeslice;
+                resume_act t a)
+        | Running | Stalled | Blocked_recv | Blocked_fault | Polling | Dead ->
+            (* Stale queue entry; try the next one. *)
+            do_dispatch t)
+
+and resume_act t (a : arec) =
+  if not a.started then begin
+    a.started <- true;
+    exec t a (Proc.run (a.program a.env))
+  end
+  else
+    match a.resume with
+    | Some f ->
+        a.resume <- None;
+        f ()
+    | None ->
+        failwith
+          (Printf.sprintf "Runtime: activity %s resumed without continuation"
+             a.aname)
+
+(* --- core requests (vDTU -> TileMux interrupts, M3v only) --- *)
+
+and handle_core_reqs t ~k =
+  let rec loop ~first =
+    match Dtu.fetch_core_req t.dtu with
+    | None ->
+        t.in_mux <- false;
+        k ()
+    | Some target ->
+        t.in_mux <- true;
+        Stats.Counter.incr t.counters "core_req";
+        let entry = if first then t.core.Core_model.trap_cycles else 0 in
+        charge_mux t (entry + t.core.Core_model.core_req_cycles) (fun () ->
+            if target = tilemux_act then
+              handle_tm_msg t ~k:(fun () ->
+                  Dtu.ack_core_req t.dtu;
+                  loop ~first:false)
+            else begin
+              (match Hashtbl.find_opt t.acts target with
+              | Some a -> make_ready t a
+              | None -> ());
+              Dtu.ack_core_req t.dtu;
+              loop ~first:false
+            end)
+  in
+  loop ~first:true
+
+(* TileMux's own receive gate got a message: either a mapping request from
+   the controller or a reply from the pager.  TileMux must switch the vDTU
+   to its own activity id to use its endpoints (paper, section 4.2). *)
+and handle_tm_msg t ~k =
+  charge_mux t (2 * t.core.Core_model.mmio_cycles) (fun () ->
+      let prev, _ = Dtu.switch_act t.dtu ~next:tilemux_act in
+      let restore_and k =
+        ignore (Dtu.switch_act t.dtu ~next:prev);
+        k ()
+      in
+      match Dtu.fetch t.dtu ~ep:t.tm_rgate with
+      | Ok (Some msg) -> (
+          match msg.Msg.data with
+          | Proto.Tm_map { tm_req_id; tm_act; tm_vpage; tm_ppage; tm_perm } ->
+              (* Apply the page-table entry on behalf of the controller
+                 (paper, section 4.3), then confirm. *)
+              charge_mux t t.core.Core_model.translate_cycles (fun () ->
+                  (match Hashtbl.find_opt t.acts tm_act with
+                  | Some a ->
+                      Addrspace.map a.addr ~vpage:tm_vpage ~ppage:tm_ppage
+                        ~perm:tm_perm
+                  | None -> ());
+                  Dtu.reply t.dtu ~recv_ep:t.tm_rgate ~to_msg:msg ~msg_size:16
+                    (Proto.Tm_map_done { tm_req_id })
+                    ~k:(fun _ -> ());
+                  restore_and k)
+          | _ -> (
+              ignore (Dtu.ack t.dtu ~ep:t.tm_rgate msg);
+              match t.tm_cont with
+              | Some f ->
+                  t.tm_cont <- None;
+                  restore_and (fun () ->
+                      f msg;
+                      tm_pump t;
+                      k ())
+              | None -> restore_and k))
+      | Ok None | Error _ -> restore_and k)
+
+(* Send one TileMux RPC at a time; queue the rest. *)
+and tm_rpc t data ~size ~on_reply =
+  match t.tm_cont with
+  | Some _ -> Queue.add (data, size, on_reply) t.tm_queue
+  | None -> tm_rpc_now t data ~size ~on_reply
+
+and tm_rpc_now t data ~size ~on_reply =
+  match t.pager_sgate with
+  | None -> failwith "Runtime: page fault but no pager channel configured"
+  | Some sgate ->
+      Stats.Counter.incr t.counters "tm_rpc";
+      t.tm_cont <- Some on_reply;
+      charge_mux t
+        ((2 * t.core.Core_model.mmio_cycles) + Core_model.cmd_overhead_cycles t.core)
+        (fun () ->
+          let prev, _ = Dtu.switch_act t.dtu ~next:tilemux_act in
+          Dtu.send t.dtu ~ep:sgate ~reply_ep:t.tm_rgate ~msg_size:size data
+            ~k:(fun result ->
+              (match result with
+              | Ok () -> ()
+              | Error e ->
+                  failwith
+                    ("Runtime: TileMux -> pager send failed: "
+                    ^ Dtu_types.error_to_string e));
+              ());
+          (* The send command is short; switch straight back so the
+             scheduled activity's endpoints are visible again. *)
+          ignore (Dtu.switch_act t.dtu ~next:prev))
+
+and tm_pump t =
+  match Queue.take_opt t.tm_queue with
+  | None -> ()
+  | Some (data, size, on_reply) -> tm_rpc_now t data ~size ~on_reply
+
+(* --- page faults and translation --- *)
+
+and pagefault t (a : arec) ~vpage ~write ~k =
+  Addrspace.note_fault a.addr;
+  Stats.Counter.incr t.counters "fault";
+  if a.premap then begin
+    (* Eagerly-mapped activities never reach the pager: TileMux installs a
+       fresh frame directly (boot-time mapping shortcut). *)
+    let ppage = t.next_ppage in
+    t.next_ppage <- ppage + 1;
+    charge_mux t t.core.Core_model.pagefault_cycles (fun () ->
+        Addrspace.map a.addr ~vpage ~ppage ~perm:RW;
+        k ())
+  end
+  else
+    charge_act t a
+      (t.core.Core_model.trap_cycles + t.core.Core_model.pagefault_cycles)
+      (fun () ->
+        a.st <- Blocked_fault;
+        a.resume <- Some k;
+        let was_current = t.current = Some a.aid in
+        if was_current then t.current <- None;
+        tm_rpc t
+          (Pf_fault { pf_act = a.aid; pf_vpage = vpage; pf_write = write })
+          ~size:24
+          ~on_reply:(fun _msg ->
+            let a = find t a.aid in
+            make_ready t a;
+            schedule_dispatch t);
+        if was_current then schedule_dispatch t)
+
+and tm_translate t (a : arec) ~vpage ~write ~k =
+  charge_act t a
+    (t.core.Core_model.trap_cycles + t.core.Core_model.translate_cycles)
+    (fun () ->
+      match Addrspace.translate a.addr ~vpage with
+      | Some (ppage, perm) ->
+          charge_mux t (2 * t.core.Core_model.mmio_cycles) (fun () ->
+              Dtu.tlb_insert t.dtu ~act:a.aid ~vpage ~ppage ~perm;
+              k ())
+      | None ->
+          pagefault t a ~vpage ~write ~k:(fun () ->
+              match Addrspace.translate a.addr ~vpage with
+              | Some (ppage, perm) ->
+                  charge_mux t (2 * t.core.Core_model.mmio_cycles) (fun () ->
+                      Dtu.tlb_insert t.dtu ~act:a.aid ~vpage ~ppage ~perm;
+                      k ())
+              | None -> failwith "Runtime: page still unmapped after fault"))
+
+(* --- M3x control messages --- *)
+
+and send_ctl t (a : arec) data ~k =
+  charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+      let rec attempt () =
+        Dtu.send t.dtu ~ep:a.env.Act_api.sys_sgate ~msg_size:16 data
+          ~k:(fun result ->
+            match result with
+            | Ok () -> k ()
+            | Error (No_credits | Recv_gone) ->
+                (* Controller busy: retry shortly (the sender spins). *)
+                Engine.after t.engine ~delay:(Time.us 2) attempt
+            | Error e ->
+                failwith
+                  ("Runtime: control message failed: "
+                  ^ Dtu_types.error_to_string e))
+      in
+      attempt ())
+
+and mx_slow_send t (a : arec) ~ep ~reply_ep ~size ~data ~k =
+  Stats.Counter.incr t.counters "mx_slow_send";
+  match (Dtu.ext_read_ep t.dtu ~ep).Ep.cfg with
+  | Ep.Send s ->
+      let reply_to =
+        match reply_ep with Some re -> Some (t.rtile, re) | None -> None
+      in
+      let fwd =
+        Msg.make ~src_tile:t.rtile ~src_act:a.aid ~src_send_ep:ep
+          ~label:s.Ep.label ?reply_to ~size data
+      in
+      send_ctl t a
+        (Proto.Mx_fwd
+           { fwd_dst_tile = s.Ep.dst_tile; fwd_dst_ep = s.Ep.dst_ep; fwd;
+             fwd_block = false })
+        ~k
+  | Ep.Invalid | Ep.Recv _ | Ep.Mem _ ->
+      failwith "Runtime: slow-path send on a non-send endpoint"
+
+and mx_slow_reply t (a : arec) ~(to_msg : Msg.t) ~size ~data ~k =
+  Stats.Counter.incr t.counters "mx_slow_send";
+  match to_msg.Msg.reply_to with
+  | None -> failwith "Runtime: slow-path reply without reply endpoint"
+  | Some (dst_tile, dst_ep) ->
+      let fwd =
+        Msg.make ~src_tile:t.rtile ~src_act:a.aid ~label:to_msg.Msg.label
+          ~size data
+      in
+      send_ctl t a
+        (Proto.Mx_fwd
+           { fwd_dst_tile = dst_tile; fwd_dst_ep = dst_ep; fwd; fwd_block = false })
+        ~k
+
+(* --- activity exit --- *)
+
+and act_finished t (a : arec) =
+  send_ctl t a (Proto.Sys (Proto.Act_exit { code = 0 })) ~k:(fun () ->
+      a.st <- Dead;
+      Dtu.tlb_invalidate_act t.dtu a.aid;
+      if t.current = Some a.aid then begin
+        t.current <- None;
+        if t.rmode = M3v_mode then schedule_dispatch t
+      end)
+
+(* --- the interpreter --- *)
+
+and exec t (a : arec) (action : Proc.action) =
+  if a.st = Dead then ()
+  else if t.irq_pending && t.rmode = M3v_mode then begin
+    t.irq_pending <- false;
+    handle_core_reqs t ~k:(fun () -> exec_steps t a action)
+  end
+  else exec_steps t a action
+
+and exec_steps t (a : arec) = function
+  | Proc.Finished -> act_finished t a
+  | Proc.Request (op, k) -> interp t a op (fun resp -> exec t a (k resp))
+
+and interp t (a : arec) op (k : Proc.resp -> unit) =
+  match op with
+  | Op_compute cycles -> compute_chunks t a cycles k
+  | Op_memcpy bytes -> compute_chunks t a (Core_model.memcpy_cycles t.core bytes) k
+  | Op_now -> charge_act t a 6 (fun () -> k (R_time (Engine.now t.engine)))
+  | Op_log line ->
+      Stats.Counter.incr t.counters "log";
+      ignore line;
+      k Proc.Unit
+  | Op_acct bucket ->
+      a.bucket <- bucket;
+      k Proc.Unit
+  | Op_alloc_buf size ->
+      let vaddr = Addrspace.alloc_region a.addr ~size in
+      let first = page_of_addr vaddr in
+      let last = page_of_addr (vaddr + (max size 1) - 1) in
+      if a.premap then begin
+        for vpage = first to last do
+          let ppage = t.next_ppage in
+          t.next_ppage <- ppage + 1;
+          Addrspace.map a.addr ~vpage ~ppage ~perm:RW
+        done;
+        charge_act t a (4 * (last - first + 1)) (fun () -> k (R_vaddr vaddr))
+      end
+      else charge_act t a 4 (fun () -> k (R_vaddr vaddr))
+  | Op_touch { t_vaddr; t_len; t_write } ->
+      let first = page_of_addr t_vaddr in
+      let last = page_of_addr (t_vaddr + max t_len 1 - 1) in
+      let rec touch_page vpage =
+        if vpage > last then k Proc.Unit
+        else if Addrspace.is_mapped a.addr ~vpage then
+          charge_act t a 2 (fun () -> touch_page (vpage + 1))
+        else pagefault t a ~vpage ~write:t_write ~k:(fun () -> touch_page (vpage + 1))
+      in
+      touch_page first
+  | Op_yield -> interp_yield t a k
+  | Op_send { s_ep; s_reply_ep; s_vaddr; s_size; s_data } ->
+      do_send t a ~ep:s_ep ~reply_ep:s_reply_ep ~vaddr:s_vaddr ~size:s_size
+        ~data:s_data ~k
+  | Op_reply { rp_recv_ep; rp_msg; rp_vaddr; rp_size; rp_data } ->
+      do_reply t a ~recv_ep:rp_recv_ep ~msg:rp_msg ~vaddr:rp_vaddr ~size:rp_size
+        ~data:rp_data ~k
+  | Op_ack { a_ep; a_msg } ->
+      charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+          match Dtu.ack t.dtu ~ep:a_ep a_msg with
+          | Ok () -> k Proc.Unit
+          | Error e -> failwith ("Runtime: ack failed: " ^ Dtu_types.error_to_string e))
+  | Op_try_recv { tr_eps } ->
+      charge_act t a (fetch_cost t tr_eps) (fun () ->
+          k (R_msg_opt (fetch_first t tr_eps)))
+  | Op_recv { r_eps } -> recv_loop t a r_eps k
+  | Op_mem_read { mr_ep; mr_off; mr_len; mr_vaddr; mr_dst; mr_dst_off } ->
+      do_dma t a ~write:false ~ep:mr_ep ~off:mr_off ~len:mr_len ~vaddr:mr_vaddr
+        ~buf:mr_dst ~buf_off:mr_dst_off ~k
+  | Op_mem_write { mw_ep; mw_off; mw_len; mw_vaddr; mw_src; mw_src_off } ->
+      do_dma t a ~write:true ~ep:mw_ep ~off:mw_off ~len:mw_len ~vaddr:mw_vaddr
+        ~buf:mw_src ~buf_off:mw_src_off ~k
+  | _ -> failwith "Runtime: unknown operation"
+
+and interp_yield t (a : arec) k =
+  match t.rmode with
+  | M3v_mode ->
+      if others_ready t then
+        charge_act t a t.core.Core_model.trap_cycles (fun () ->
+            a.st <- Ready;
+            a.resume <- Some (fun () -> k Proc.Unit);
+            Queue.add a.aid t.runq;
+            t.current <- None;
+            schedule_dispatch t)
+      else charge_act t a t.core.Core_model.trap_cycles (fun () -> k Proc.Unit)
+  | M3x_mode ->
+      Stats.Counter.incr t.counters "mx_block";
+      send_ctl t a Proto.Mx_yield ~k:(fun () ->
+          a.st <- Blocked_recv;
+          a.resume <- Some (fun () -> k Proc.Unit))
+
+and compute_chunks t (a : arec) cycles k =
+  if cycles <= 0 then k Proc.Unit
+  else begin
+    let slice_cycles =
+      max 1 (Time.to_cycles ~ps_per_cycle:t.core.Core_model.ps_per_cycle a.slice_left)
+    in
+    let run = min cycles slice_cycles in
+    charge_act t a run (fun () ->
+        a.slice_left <-
+          Time.sub a.slice_left (Core_model.cycles t.core run);
+        let rest = cycles - run in
+        let continue () =
+          if a.slice_left <= 0 then
+            if t.rmode = M3v_mode && others_ready t then begin
+              (* Timer preemption: round-robin to the next activity. *)
+              Stats.Counter.incr t.counters "preempt";
+              charge_mux t t.core.Core_model.trap_cycles (fun () ->
+                  a.st <- Ready;
+                  a.resume <-
+                    Some (fun () -> compute_chunks t a rest k);
+                  Queue.add a.aid t.runq;
+                  t.current <- None;
+                  schedule_dispatch t)
+            end
+            else begin
+              a.slice_left <- t.timeslice;
+              compute_chunks t a rest k
+            end
+          else compute_chunks t a rest k
+        in
+        if t.irq_pending && t.rmode = M3v_mode then begin
+          t.irq_pending <- false;
+          handle_core_reqs t ~k:continue
+        end
+        else continue ())
+  end
+
+and fetch_cost t eps = t.core.Core_model.mmio_cycles * max 1 (min 2 (List.length eps))
+
+and fetch_first t eps =
+  let rec try_eps = function
+    | [] -> None
+    | ep :: rest -> (
+        match Dtu.fetch t.dtu ~ep with
+        | Ok (Some msg) -> Some (ep, msg)
+        | Ok None | Error _ -> try_eps rest)
+  in
+  try_eps eps
+
+and recv_loop t (a : arec) eps k =
+  charge_act t a (fetch_cost t eps) (fun () ->
+      match fetch_first t eps with
+      | Some (ep, msg) -> k (R_msg (ep, msg))
+      | None -> (
+          match t.rmode with
+          | M3v_mode ->
+              if others_ready t then
+                (* TMCall: block until a message arrives (paper, 3.7). *)
+                charge_act t a t.core.Core_model.trap_cycles (fun () ->
+                    a.st <- Blocked_recv;
+                    a.wait_eps <- eps;
+                    a.resume <- Some (fun () -> recv_loop t a eps k);
+                    t.current <- None;
+                    schedule_dispatch t)
+              else begin
+                (* Nothing else to run: poll the vDTU (paper, 3.7).  The
+                   wait is not charged to the activity's accounting
+                   bucket: it is idle occupancy, not attributable work. *)
+                Stats.Counter.incr t.counters "poll";
+                a.st <- Polling;
+                a.wait_eps <- eps;
+                a.resume <- Some (fun () -> recv_loop t a eps k)
+              end
+          | M3x_mode ->
+              if Hashtbl.length t.acts = 1 then begin
+                (* Sole activity on the tile: the core sleeps and the DTU
+                   wakes it on message arrival, without the controller —
+                   M3x retains the fast path while the recipient is
+                   running (paper, section 2.2). *)
+                Stats.Counter.incr t.counters "poll";
+                a.st <- Polling;
+                a.wait_eps <- eps;
+                a.resume <- Some (fun () -> recv_loop t a eps k)
+              end
+              else begin
+                Stats.Counter.incr t.counters "mx_block";
+                a.st <- Blocked_recv;
+                a.wait_eps <- eps;
+                a.resume <- Some (fun () -> recv_loop t a eps k);
+                send_ctl t a Proto.Mx_block ~k:(fun () -> ())
+              end))
+
+and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
+  charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+      let rec attempt () =
+        a.st <- Stalled;
+        note_stall_start a ~now:(Engine.now t.engine);
+        Dtu.send t.dtu ~ep ?reply_ep ?src_vaddr:vaddr ~msg_size:size data
+          ~k:(fun result ->
+            note_stall_end t a ~now:(Engine.now t.engine);
+            a.st <- Running;
+            match result with
+            | Ok () -> k Proc.Unit
+            | Error (Translation_fault vpage) ->
+                tm_translate t a ~vpage ~write:false ~k:attempt
+            | Error No_credits ->
+                (* Out of credits: spin until the receiver acknowledges. *)
+                Engine.after t.engine ~delay:(Time.us 2) attempt
+            | Error Recv_gone when t.rmode = M3x_mode ->
+                mx_slow_send t a ~ep ~reply_ep ~size ~data ~k:(fun () -> k Proc.Unit)
+            | Error e ->
+                failwith ("Runtime: send failed: " ^ Dtu_types.error_to_string e))
+      in
+      attempt ())
+
+and do_reply t (a : arec) ~recv_ep ~msg ~vaddr ~size ~data ~k =
+  charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+      let rec attempt () =
+        a.st <- Stalled;
+        note_stall_start a ~now:(Engine.now t.engine);
+        Dtu.reply t.dtu ~recv_ep ~to_msg:msg ?src_vaddr:vaddr ~msg_size:size data
+          ~k:(fun result ->
+            note_stall_end t a ~now:(Engine.now t.engine);
+            a.st <- Running;
+            match result with
+            | Ok () -> k Proc.Unit
+            | Error (Translation_fault vpage) ->
+                tm_translate t a ~vpage ~write:false ~k:attempt
+            | Error Recv_gone when t.rmode = M3x_mode ->
+                mx_slow_reply t a ~to_msg:msg ~size ~data ~k:(fun () -> k Proc.Unit)
+            | Error e ->
+                failwith ("Runtime: reply failed: " ^ Dtu_types.error_to_string e))
+      in
+      attempt ())
+
+and do_dma t (a : arec) ~write ~ep ~off ~len ~vaddr ~buf ~buf_off ~k =
+  charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+      let rec attempt () =
+        a.st <- Stalled;
+        note_stall_start a ~now:(Engine.now t.engine);
+        let complete result =
+          note_stall_end t a ~now:(Engine.now t.engine);
+          a.st <- Running;
+          match result with
+          | Ok () -> k Proc.Unit
+          | Error (Translation_fault vpage) ->
+              tm_translate t a ~vpage ~write:(not write) ~k:attempt
+          | Error e ->
+              failwith
+                (Printf.sprintf
+                   "Runtime: DMA %s failed on tile %d (act %s, ep %d, off %#x, len %d): %s"
+                   (if write then "write" else "read")
+                   t.rtile a.aname ep off len
+                   (Dtu_types.error_to_string e))
+        in
+        if write then
+          Dtu.mem_write t.dtu ~ep ~off ~len ~src_vaddr:vaddr ~src:buf
+            ~src_off:buf_off ~k:complete
+        else
+          Dtu.mem_read t.dtu ~ep ~off ~len ~dst_vaddr:vaddr ~dst:buf
+            ~dst_off:buf_off ~k:complete
+      in
+      attempt ())
+
+(* --- wakeups --- *)
+
+let on_msg_arrived t owner =
+  match Hashtbl.find_opt t.acts owner with
+  | None -> ()
+  | Some a ->
+      if t.current = Some owner && a.st = Polling then begin
+        Stats.Counter.incr t.counters "poll_wake";
+        a.st <- Running;
+        (* Detecting the message costs a couple of MMIO reads. *)
+        charge_act t a (2 * t.core.Core_model.mmio_cycles) (fun () ->
+            resume_act t a)
+      end
+      else if
+        t.rmode = M3x_mode && a.st = Blocked_recv && t.current = Some owner
+        && not a.wake_sent
+      then begin
+        a.wake_sent <- true;
+        send_ctl t a Proto.Mx_wake ~k:(fun () -> ())
+      end
+
+let on_core_req_irq t =
+  match t.current with
+  | None -> handle_core_reqs t ~k:(fun () -> schedule_dispatch t)
+  | Some aid -> (
+      let a = find t aid in
+      match a.st with
+      | Polling ->
+          (* The poller is interruptible; if the interrupt readied another
+             activity, the poller goes back to blocking and we switch. *)
+          handle_core_reqs t ~k:(fun () ->
+              if others_ready t && a.st = Polling then begin
+                a.st <- Blocked_recv;
+                t.current <- None;
+                schedule_dispatch t
+              end)
+      | Running | Stalled | Ready | Blocked_recv | Blocked_fault | Dead ->
+          t.irq_pending <- true)
+
+(* --- M3x stub --- *)
+
+let mx_resume_act t (a : arec) =
+  a.wake_sent <- false;
+  if not a.started then begin
+    a.started <- true;
+    a.st <- Running;
+    exec t a (Proc.run (a.program a.env))
+  end
+  else begin
+    a.st <- Running;
+    match a.resume with
+    | Some f ->
+        a.resume <- None;
+        f ()
+    | None -> ()
+  end
+
+let install_mx_stub t =
+  let stub =
+    {
+      Controller.mx_save =
+        (fun ~k ->
+          charge_mux t (t.core.Core_model.ctx_switch_cycles / 2) (fun () ->
+              t.current <- None;
+              k ()));
+      Controller.mx_restore =
+        (fun aid ~k ->
+          let a = find t aid in
+          if t.current = Some aid then
+            (* Light resume: the activity's endpoints are already live. *)
+            charge_mux t t.core.Core_model.trap_cycles (fun () ->
+                mx_resume_act t a;
+                k ())
+          else begin
+            Stats.Counter.incr t.counters "ctx_switch";
+            charge_mux t (t.core.Core_model.ctx_switch_cycles / 2) (fun () ->
+                t.current <- Some aid;
+                mx_resume_act t a;
+                k ())
+          end);
+    }
+  in
+  Controller.register_mx_stub t.ctrl ~tile:t.rtile stub
+
+(* --- construction --- *)
+
+let create ~mode ~controller ~tile ?(timeslice = Time.ms 1) () =
+  let platform = Controller.platform controller in
+  let engine = Platform.engine platform in
+  let dtu = Platform.dtu platform tile in
+  let core = Platform.core_exn platform tile in
+  let tm_rgate =
+    match mode with
+    | M3v_mode ->
+        let ep = Controller.host_alloc_ep_anon controller ~tile in
+        Dtu.ext_config dtu ~ep ~owner:tilemux_act
+          (Ep.recv_config ~slots:16 ~slot_size:256 ());
+        Controller.register_tm_rgate controller ~tile ~ep;
+        ep
+    | M3x_mode -> -1
+  in
+  let t =
+    {
+      rmode = mode;
+      rtile = tile;
+      engine;
+      dtu;
+      core;
+      ctrl = controller;
+      timeslice;
+      acts = Hashtbl.create 8;
+      spawn_order = [];
+      runq = Queue.create ();
+      current = None;
+      irq_pending = false;
+      dispatch_pending = false;
+      in_mux = false;
+      tm_rgate;
+      pager_sgate = None;
+      tm_cont = None;
+      tm_queue = Queue.create ();
+      next_ppage = 0x1000;
+      counters = Stats.Counter.create ();
+      mux_busy_ps = 0;
+    }
+  in
+  Dtu.set_msg_arrived dtu (fun owner -> on_msg_arrived t owner);
+  Dtu.set_core_req_irq dtu (fun () -> on_core_req_irq t);
+  if mode = M3x_mode then install_mx_stub t;
+  t
+
+let spawn t ~name ?(premap = true) ~program () =
+  if t.rmode = M3x_mode && not premap then
+    invalid_arg "Runtime.spawn: M3x supports only eagerly-mapped activities";
+  let aid = Controller.host_new_act t.ctrl ~tile:t.rtile ~name in
+  let sys_sgate, sys_rgate = Controller.host_setup_syscall_channel t.ctrl ~act:aid in
+  let env = { Act_api.aid; tile = t.rtile; sys_sgate; sys_rgate } in
+  let a =
+    {
+      aid;
+      aname = name;
+      env;
+      program;
+      premap;
+      addr = Addrspace.create ();
+      st = Blocked_recv;
+      resume = None;
+      wait_eps = [];
+      slice_left = t.timeslice;
+      busy_ps = 0;
+      bucket = "user";
+      started = false;
+      wake_sent = false;
+      stall_since = Time.zero;
+    }
+  in
+  Hashtbl.replace t.acts aid a;
+  t.spawn_order <- t.spawn_order @ [ aid ];
+  (aid, env)
+
+let set_pager_sgate t ep = t.pager_sgate <- Some ep
+
+let boot t =
+  match t.rmode with
+  | M3v_mode ->
+      List.iter
+        (fun aid ->
+          let a = find t aid in
+          if a.st = Blocked_recv && not a.started then begin
+            a.st <- Ready;
+            Queue.add aid t.runq
+          end)
+        t.spawn_order;
+      schedule_dispatch t
+  | M3x_mode ->
+      List.iter
+        (fun aid -> Controller.mx_register_act t.ctrl ~act:aid)
+        t.spawn_order;
+      Controller.mx_kick t.ctrl ~tile:t.rtile

@@ -1,0 +1,1 @@
+lib/noc/noc.ml: Array List M3v_sim Topology

@@ -1,0 +1,1 @@
+lib/noc/topology.ml: Array Hashtbl List Printf Queue

@@ -1,0 +1,95 @@
+module Engine = M3v_sim.Engine
+module Time = M3v_sim.Time
+
+type params = {
+  flit_bytes : int;
+  ps_per_flit : int;
+  hop_latency_ps : int;
+  header_flits : int;
+}
+
+(* 16-byte flits at ~1.6 GB/s per link, 3 router cycles per hop: tile-to-
+   tile latency in the low dozens of nanoseconds (paper, section 2.3). *)
+let default_params =
+  { flit_bytes = 16; ps_per_flit = 10_000; hop_latency_ps = 7_500; header_flits = 1 }
+
+type stats = {
+  packets : int;
+  payload_bytes : int;
+  total_flits : int;
+  link_busy_ps : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  params : params;
+  free_at : Time.t array; (* per directed link *)
+  mutable stats : stats;
+}
+
+let empty_stats = { packets = 0; payload_bytes = 0; total_flits = 0; link_busy_ps = 0 }
+
+let create ?(params = default_params) engine topo =
+  {
+    engine;
+    topo;
+    params;
+    free_at = Array.make (Topology.link_count topo) Time.zero;
+    stats = empty_stats;
+  }
+
+let topology t = t.topo
+let params t = t.params
+
+let flits_of_bytes t bytes =
+  t.params.header_flits
+  + ((bytes + t.params.flit_bytes - 1) / t.params.flit_bytes)
+
+(* Loopback (src = dst) stays inside the DTU: charge one hop. *)
+let loopback_latency t = t.params.hop_latency_ps
+
+let transfer_time t ~record ~start route flits =
+  let serialization = flits * t.params.ps_per_flit in
+  let arrival = ref start in
+  List.iter
+    (fun link ->
+      let begin_at = Time.max !arrival t.free_at.(link) in
+      if record then begin
+        t.free_at.(link) <- Time.add begin_at serialization;
+        t.stats <-
+          { t.stats with link_busy_ps = t.stats.link_busy_ps + serialization }
+      end;
+      arrival := Time.add begin_at t.params.hop_latency_ps)
+    route;
+  (* The tail flit lands one serialization window after the head. *)
+  Time.add !arrival serialization
+
+let send t ~src ~dst ~bytes ~on_delivered =
+  let now = Engine.now t.engine in
+  let flits = flits_of_bytes t bytes in
+  let arrival =
+    if src = dst then Time.add now (loopback_latency t)
+    else
+      let route = Topology.route t.topo ~src ~dst in
+      transfer_time t ~record:true ~start:now route flits
+  in
+  t.stats <-
+    {
+      t.stats with
+      packets = t.stats.packets + 1;
+      payload_bytes = t.stats.payload_bytes + bytes;
+      total_flits = t.stats.total_flits + flits;
+    };
+  Engine.at t.engine ~time:arrival on_delivered
+
+let uncontended_latency t ~src ~dst ~bytes =
+  let flits = flits_of_bytes t bytes in
+  if src = dst then loopback_latency t
+  else
+    let route = Topology.route t.topo ~src ~dst in
+    let hops = List.length route in
+    (hops * t.params.hop_latency_ps) + (flits * t.params.ps_per_flit)
+
+let stats t = t.stats
+let reset_stats t = t.stats <- empty_stats

@@ -1,0 +1,1 @@
+lib/os/accel.ml: Bytes M3v_dtu M3v_sim

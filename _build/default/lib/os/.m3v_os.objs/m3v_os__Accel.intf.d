@@ -1,0 +1,1 @@
+lib/os/accel.mli: M3v_dtu M3v_sim

@@ -1,0 +1,1 @@
+lib/os/fs_client.ml: Fs_proto Hashtbl M3v_dtu M3v_kernel M3v_mux M3v_sim Option Printf Vfs

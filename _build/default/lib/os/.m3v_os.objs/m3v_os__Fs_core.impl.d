@@ -1,0 +1,1 @@
+lib/os/fs_core.ml: Bytes Hashtbl List Printf String

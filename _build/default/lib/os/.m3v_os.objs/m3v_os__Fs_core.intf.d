@@ -1,0 +1,1 @@
+lib/os/fs_core.mli:

@@ -1,0 +1,1 @@
+lib/os/fs_proto.ml: Bytes List M3v_dtu String

@@ -1,0 +1,1 @@
+lib/os/fs_proto.mli: M3v_dtu

@@ -1,0 +1,1 @@
+lib/os/m3fs.ml: Bytes Fs_core Fs_proto Hashtbl List M3v_dtu M3v_kernel M3v_mux M3v_sim

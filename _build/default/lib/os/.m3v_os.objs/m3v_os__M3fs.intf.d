@@ -1,0 +1,1 @@
+lib/os/m3fs.mli: Fs_core M3v_mux M3v_sim

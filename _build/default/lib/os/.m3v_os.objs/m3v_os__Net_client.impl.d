@@ -1,0 +1,1 @@
+lib/os/net_client.ml: M3v_dtu M3v_mux M3v_sim Net_proto

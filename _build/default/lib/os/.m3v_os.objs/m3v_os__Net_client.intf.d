@@ -1,0 +1,1 @@
+lib/os/net_client.mli: M3v_sim Net_proto

@@ -1,0 +1,1 @@
+lib/os/net_proto.ml: Bytes M3v_dtu String

@@ -1,0 +1,1 @@
+lib/os/net_proto.mli: M3v_dtu

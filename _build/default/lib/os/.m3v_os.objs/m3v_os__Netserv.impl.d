@@ -1,0 +1,1 @@
+lib/os/netserv.ml: Bytes Hashtbl M3v_dtu M3v_mux M3v_sim Net_proto Nic Queue

@@ -1,0 +1,1 @@
+lib/os/netserv.mli: M3v_mux M3v_sim Nic

@@ -1,0 +1,1 @@
+lib/os/nic.mli: M3v_dtu M3v_sim Net_proto

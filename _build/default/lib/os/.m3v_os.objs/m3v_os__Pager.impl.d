@@ -1,0 +1,1 @@
+lib/os/pager.ml: M3v_dtu M3v_kernel M3v_mux M3v_sim

@@ -1,0 +1,1 @@
+lib/os/pager.mli: M3v_mux M3v_sim

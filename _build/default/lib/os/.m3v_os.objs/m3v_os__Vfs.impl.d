@@ -1,0 +1,1 @@
+lib/os/vfs.ml: Buffer Bytes Fs_proto M3v_mux M3v_sim

@@ -1,0 +1,1 @@
+lib/os/vfs.mli: Fs_proto M3v_mux M3v_sim

@@ -1,0 +1,84 @@
+module Engine = M3v_sim.Engine
+module Time = M3v_sim.Time
+module Dtu = M3v_dtu.Dtu
+module Msg = M3v_dtu.Msg
+
+type M3v_dtu.Msg.data += Data of bytes | End_of_stream
+
+type t = {
+  engine : Engine.t;
+  dtu : Dtu.t;
+  rgate : int;
+  out_ep : int;
+  ns_per_byte : int;
+  transform : bytes -> bytes;
+  mutable busy : bool;
+  mutable processed : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+let processed t = t.processed
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+
+(* Accelerators process one message at a time; further arrivals queue in
+   the receive buffer and drain when the pipeline stage frees up. *)
+let rec pump t =
+  if not t.busy then
+    match Dtu.fetch t.dtu ~ep:t.rgate with
+    | Ok (Some msg) ->
+        t.busy <- true;
+        let payload, out_data, out_size =
+          match msg.Msg.data with
+          | Data payload ->
+              let result = t.transform payload in
+              (Bytes.length payload, Data result, Bytes.length result)
+          | other -> (0, other, 8)
+        in
+        t.processed <- t.processed + 1;
+        t.bytes_in <- t.bytes_in + payload;
+        t.bytes_out <- t.bytes_out + out_size;
+        let work = Time.ns (t.ns_per_byte * max 1 payload) in
+        Engine.after t.engine ~delay:work (fun () ->
+            Dtu.send t.dtu ~ep:t.out_ep ~msg_size:out_size out_data
+              ~k:(fun result ->
+                (match result with
+                | Ok () -> ()
+                | Error M3v_dtu.Dtu_types.No_credits | Error M3v_dtu.Dtu_types.Recv_gone ->
+                    (* Downstream backpressure: retry shortly. *)
+                    retry_send t out_data out_size
+                | Error e ->
+                    failwith
+                      ("Accel: forward failed: "
+                      ^ M3v_dtu.Dtu_types.error_to_string e));
+                (match Dtu.ack t.dtu ~ep:t.rgate msg with
+                | Ok () | Error _ -> ());
+                t.busy <- false;
+                pump t))
+    | Ok None | Error _ -> ()
+
+and retry_send t data size =
+  Engine.after t.engine ~delay:(Time.us 5) (fun () ->
+      Dtu.send t.dtu ~ep:t.out_ep ~msg_size:size data ~k:(fun result ->
+          match result with
+          | Ok () -> ()
+          | Error _ -> retry_send t data size))
+
+let attach ~engine ~dtu ~rgate ~out_ep ~ns_per_byte ~transform () =
+  let t =
+    {
+      engine;
+      dtu;
+      rgate;
+      out_ep;
+      ns_per_byte;
+      transform;
+      busy = false;
+      processed = 0;
+      bytes_in = 0;
+      bytes_out = 0;
+    }
+  in
+  Dtu.set_msg_arrived dtu (fun _ -> pump t);
+  t

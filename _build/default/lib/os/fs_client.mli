@@ -1,0 +1,38 @@
+(** m3fs client library (the file-system half of the musl-like shim).
+
+    Keeps per-fd positions and the currently mapped extent window.  While
+    the position stays inside the window, reads and writes are pure DMA
+    through the client's own (v)DTU — the service is not involved.
+    Crossing an extent boundary costs one RPC to m3fs plus one [Activate]
+    syscall to install the new extent capability on the reusable data
+    endpoint (paper, section 6.3: the controller is rarely used, but
+    always called synchronously). *)
+
+type t
+
+(** [create ~env ~sgate ~reply_ep ~data_ep] — [sgate]/[reply_ep] form the
+    channel to the m3fs service, [data_ep] is the endpoint reused for
+    extent windows. *)
+val create :
+  env:M3v_mux.Act_api.env -> sgate:int -> reply_ep:int -> data_ep:int -> t
+
+val open_ : t -> string -> Fs_proto.open_flags -> (int, string) result M3v_sim.Proc.t
+val read : t -> fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int M3v_sim.Proc.t
+val write : t -> fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int M3v_sim.Proc.t
+val seek : t -> fd:int -> pos:int -> unit M3v_sim.Proc.t
+val close : t -> fd:int -> unit M3v_sim.Proc.t
+
+(** Small read served inline by the service (no extent granting); for
+    metadata-style traffic like the syscall traces. *)
+val read_inline : t -> fd:int -> off:int -> len:int -> bytes M3v_sim.Proc.t
+
+val write_inline : t -> fd:int -> off:int -> data:bytes -> unit M3v_sim.Proc.t
+val stat : t -> string -> (Fs_proto.fs_rep, string) result M3v_sim.Proc.t
+val readdir : t -> string -> (string list, string) result M3v_sim.Proc.t
+val mkdir : t -> string -> (unit, string) result M3v_sim.Proc.t
+val unlink : t -> string -> (unit, string) result M3v_sim.Proc.t
+
+(** Number of extent-switch RPCs performed so far (tests, accounting). *)
+val extent_switches : t -> int
+
+val to_vfs : t -> Vfs.t

@@ -1,0 +1,26 @@
+(** Client side of the net service: POSIX-like UDP sockets (the socket
+    half of the musl-like shim). *)
+
+type t
+
+val create : sgate:int -> reply_ep:int -> t
+
+val socket : t -> int M3v_sim.Proc.t
+val bind : t -> sock:int -> port:int -> unit M3v_sim.Proc.t
+val sendto : t -> sock:int -> dst:Net_proto.addr -> bytes -> unit M3v_sim.Proc.t
+
+(** Blocks until a packet arrives for the socket. *)
+val recvfrom : t -> sock:int -> (Net_proto.addr * bytes) M3v_sim.Proc.t
+
+val close : t -> sock:int -> unit M3v_sim.Proc.t
+
+(** The portable UDP interface (also implemented by the Linux model). *)
+type udp = {
+  u_socket : unit -> int M3v_sim.Proc.t;
+  u_bind : int -> int -> unit M3v_sim.Proc.t;
+  u_sendto : int -> Net_proto.addr -> bytes -> unit M3v_sim.Proc.t;
+  u_recvfrom : int -> (Net_proto.addr * bytes) M3v_sim.Proc.t;
+  u_close : int -> unit M3v_sim.Proc.t;
+}
+
+val to_udp : t -> udp

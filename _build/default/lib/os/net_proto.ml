@@ -1,0 +1,36 @@
+type addr = int * int
+type packet = { src : addr; dst : addr; payload : bytes }
+
+let header_bytes = 42
+let wire_size p = header_bytes + Bytes.length p.payload
+
+type net_req =
+  | Socket
+  | Bind of { sock : int; port : int }
+  | Sendto of { sock : int; dst : addr; data : bytes }
+  | Recvfrom of { sock : int }
+  | Close_sock of { sock : int }
+
+type net_rep =
+  | N_sock of int
+  | N_ok
+  | N_pkt of { src : addr; data : bytes }
+  | N_err of string
+
+type M3v_dtu.Msg.data +=
+  | Net of net_req
+  | Net_rep of net_rep
+  | Nic_rx of packet
+
+let req_size = function
+  | Socket -> 8
+  | Bind _ -> 16
+  | Sendto { data; _ } -> 24 + Bytes.length data
+  | Recvfrom _ -> 16
+  | Close_sock _ -> 16
+
+let rep_size = function
+  | N_sock _ -> 16
+  | N_ok -> 8
+  | N_pkt { data; _ } -> 24 + Bytes.length data
+  | N_err e -> 8 + String.length e

@@ -1,0 +1,33 @@
+(** UDP/IP types and the client <-> net-service protocol. *)
+
+(** An address: (host id, port).  Host 0 is the FPGA platform itself. *)
+type addr = int * int
+
+(** A UDP packet on the wire. *)
+type packet = { src : addr; dst : addr; payload : bytes }
+
+(** Ethernet + IPv4 + UDP header overhead. *)
+val header_bytes : int
+
+val wire_size : packet -> int
+
+type net_req =
+  | Socket
+  | Bind of { sock : int; port : int }
+  | Sendto of { sock : int; dst : addr; data : bytes }
+  | Recvfrom of { sock : int }  (** parked by the service until data arrives *)
+  | Close_sock of { sock : int }
+
+type net_rep =
+  | N_sock of int
+  | N_ok
+  | N_pkt of { src : addr; data : bytes }
+  | N_err of string
+
+type M3v_dtu.Msg.data +=
+  | Net of net_req
+  | Net_rep of net_rep
+  | Nic_rx of packet  (** NIC -> driver notification carrying a frame *)
+
+val req_size : net_req -> int
+val rep_size : net_rep -> int

@@ -1,0 +1,57 @@
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module A = M3v_mux.Act_api
+
+type t = {
+  open_ : string -> Fs_proto.open_flags -> (int, string) result Proc.t;
+  read : int -> M3v_mux.Act_ops.buf -> int -> int Proc.t;
+  write : int -> M3v_mux.Act_ops.buf -> int -> int Proc.t;
+  seek : int -> int -> unit Proc.t;
+  close : int -> unit Proc.t;
+  stat : string -> (Fs_proto.fs_rep, string) result Proc.t;
+  readdir : string -> (string list, string) result Proc.t;
+  mkdir : string -> (unit, string) result Proc.t;
+  unlink : string -> (unit, string) result Proc.t;
+}
+
+let chunk = 4096
+
+let read_all t path =
+  let* fd = t.open_ path Fs_proto.rdonly in
+  match fd with
+  | Error e -> Proc.return (Error e)
+  | Ok fd ->
+      let* buf = A.alloc_buf chunk in
+      let acc = Buffer.create chunk in
+      let rec loop () =
+        let* n = t.read fd buf chunk in
+        if n = 0 then
+          let* () = t.close fd in
+          Proc.return (Ok (Buffer.to_bytes acc))
+        else begin
+          Buffer.add_subbytes acc buf.M3v_mux.Act_ops.data 0 n;
+          loop ()
+        end
+      in
+      loop ()
+
+let write_file t path data =
+  let* fd = t.open_ path Fs_proto.wronly in
+  match fd with
+  | Error e -> Proc.return (Error e)
+  | Ok fd ->
+      let* buf = A.alloc_buf chunk in
+      let len = Bytes.length data in
+      let rec loop off =
+        if off >= len then
+          let* () = t.close fd in
+          Proc.return (Ok ())
+        else begin
+          let n = min chunk (len - off) in
+          Bytes.blit data off buf.M3v_mux.Act_ops.data 0 n;
+          let* written = t.write fd buf n in
+          if written = 0 then Proc.return (Error "short write")
+          else loop (off + written)
+        end
+      in
+      loop 0

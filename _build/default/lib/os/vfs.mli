@@ -1,0 +1,27 @@
+(** A POSIX-flavoured file interface as a record of [Proc] operations.
+
+    This is the portability seam of the reproduction: applications (the
+    LSM key-value store, the traceplayer, the voice pipeline) are written
+    against [Vfs.t] and run unchanged on m3fs (through {!Fs_client}) and on
+    the Linux model's tmpfs — mirroring how the paper runs the same POSIX
+    programs on M3v (musl port) and Linux. *)
+
+type t = {
+  open_ : string -> Fs_proto.open_flags -> (int, string) result M3v_sim.Proc.t;
+  read : int -> M3v_mux.Act_ops.buf -> int -> int M3v_sim.Proc.t;
+      (** [read fd buf len] at the fd's position; returns bytes read (0 at
+          EOF) *)
+  write : int -> M3v_mux.Act_ops.buf -> int -> int M3v_sim.Proc.t;
+  seek : int -> int -> unit M3v_sim.Proc.t;  (** absolute positioning *)
+  close : int -> unit M3v_sim.Proc.t;
+  stat : string -> (Fs_proto.fs_rep, string) result M3v_sim.Proc.t;
+      (** returns the raw [R_stat] payload on success *)
+  readdir : string -> (string list, string) result M3v_sim.Proc.t;
+  mkdir : string -> (unit, string) result M3v_sim.Proc.t;
+  unlink : string -> (unit, string) result M3v_sim.Proc.t;
+}
+
+(** Read/write an entire file through the interface (page-sized chunks). *)
+val read_all : t -> string -> (bytes, string) result M3v_sim.Proc.t
+
+val write_file : t -> string -> bytes -> (unit, string) result M3v_sim.Proc.t

@@ -1,0 +1,53 @@
+type t = {
+  mutable now : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  mutable processed : int;
+}
+
+let create () = { now = Time.zero; queue = Event_queue.create (); processed = 0 }
+let now t = t.now
+
+let at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Format.asprintf "Engine.at: time %a is in the past (now %a)" Time.pp time
+         Time.pp t.now);
+  Event_queue.push t.queue ~time f
+
+let after t ~delay f =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  Event_queue.push t.queue ~time:(Time.add t.now delay) f
+
+let run ?until ?max_events t =
+  let count = ref 0 in
+  let continue () =
+    match max_events with None -> true | Some m -> !count < m
+  in
+  let in_horizon time =
+    match until with None -> true | Some u -> time <= u
+  in
+  let rec loop () =
+    if continue () then
+      match Event_queue.peek_time t.queue with
+      | Some time when in_horizon time ->
+          (match Event_queue.pop t.queue with
+          | Some (time, f) ->
+              t.now <- time;
+              f ();
+              incr count;
+              t.processed <- t.processed + 1;
+              loop ()
+          | None -> ())
+      | Some _ | None -> (
+          (* Advance the clock to the horizon even when nothing ran. *)
+          match until with Some u when u > t.now -> t.now <- u | _ -> ())
+  in
+  loop ();
+  !count
+
+let events_processed t = t.processed
+let pending t = Event_queue.length t.queue
+
+let reset t =
+  t.now <- Time.zero;
+  Event_queue.clear t.queue

@@ -1,0 +1,33 @@
+(** The discrete-event simulation engine.
+
+    The engine owns the global clock and a queue of timestamped callbacks.
+    Everything in the simulated platform (cores, DTUs, NoC links, DRAM)
+    advances by scheduling callbacks here.  The engine is strictly
+    single-threaded and deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** [at eng ~time f] schedules [f] to run at absolute [time]
+    (>= [now eng]). *)
+val at : t -> time:Time.t -> (unit -> unit) -> unit
+
+(** [after eng ~delay f] schedules [f] to run [delay] after [now]. *)
+val after : t -> delay:Time.t -> (unit -> unit) -> unit
+
+(** Run until the event queue drains or [until] is reached.  Returns the
+    number of events processed. *)
+val run : ?until:Time.t -> ?max_events:int -> t -> int
+
+(** Number of events processed so far over the engine's lifetime. *)
+val events_processed : t -> int
+
+(** Number of events still pending. *)
+val pending : t -> int
+
+(** Reset the clock to zero and drop pending events. *)
+val reset : t -> unit

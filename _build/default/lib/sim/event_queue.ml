@@ -1,0 +1,76 @@
+type 'a entry = { time : Time.t; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+(* [before a b] orders by time, then insertion sequence. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let new_capacity = Stdlib.max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let push q ~time value =
+  let entry = { time; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  (* Sift the new entry up to restore the heap invariant. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before q.heap.(i) q.heap.(parent) then begin
+        let tmp = q.heap.(i) in
+        q.heap.(i) <- q.heap.(parent);
+        q.heap.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* Sift the moved entry down. *)
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest = ref i in
+        if left < q.size && before q.heap.(left) q.heap.(!smallest) then
+          smallest := left;
+        if right < q.size && before q.heap.(right) q.heap.(!smallest) then
+          smallest := right;
+        if !smallest <> i then begin
+          let tmp = q.heap.(i) in
+          q.heap.(i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let clear q =
+  q.size <- 0;
+  q.heap <- [||]

@@ -1,0 +1,22 @@
+(** A binary min-heap of timestamped events.
+
+    Events with equal timestamps pop in insertion order (FIFO), which keeps
+    the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push q ~time v] inserts [v] with the given timestamp. *)
+val push : 'a t -> time:Time.t -> 'a -> unit
+
+(** [pop q] removes and returns the earliest event, or [None] if empty. *)
+val pop : 'a t -> (Time.t * 'a) option
+
+(** [peek_time q] is the timestamp of the earliest event without removing
+    it. *)
+val peek_time : 'a t -> Time.t option
+
+val clear : 'a t -> unit

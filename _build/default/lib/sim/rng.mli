@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the simulation (workload generators, Zipfian
+    sampling, synthetic audio) draws from an explicitly seeded [Rng.t], so
+    that runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+(** A statistically independent stream split off from [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Fisher-Yates shuffle (in place). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,78 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (sq /. float_of_int (List.length xs - 1))
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | _ ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+      let sorted = List.sort compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then arr.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+      {
+        n = List.length xs;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = List.fold_left Stdlib.min infinity xs;
+        max = List.fold_left Stdlib.max neg_infinity xs;
+        median = percentile 50.0 xs;
+      }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.median s.max
+
+module Counter = struct
+  type t = (string, float ref) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let cell t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r
+    | None ->
+        let r = ref 0.0 in
+        Hashtbl.add t key r;
+        r
+
+  let add t key v = cell t key := !(cell t key) +. v
+  let incr t key = add t key 1.0
+  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0.0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset t = Hashtbl.reset t
+end

@@ -1,0 +1,34 @@
+(** Small statistics helpers for benchmark results. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+(** Summarize a sample.  Raises [Invalid_argument] on an empty list. *)
+val summarize : float list -> summary
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100], linear interpolation. *)
+val percentile : float -> float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** An accumulating counter keyed by string, used for runtime accounting
+    (user/system time, per-component cycles, event counts). *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> float -> unit
+  val incr : t -> string -> unit
+  val get : t -> string -> float
+  val to_list : t -> (string * float) list
+  val reset : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/tile/core_model.ml: Format M3v_sim

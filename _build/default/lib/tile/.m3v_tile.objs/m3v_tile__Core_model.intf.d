@@ -1,0 +1,1 @@
+lib/tile/core_model.mli: Format M3v_sim

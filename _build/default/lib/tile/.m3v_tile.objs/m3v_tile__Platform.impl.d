@@ -1,0 +1,1 @@
+lib/tile/platform.ml: Array Core_model Format List M3v_dtu M3v_noc M3v_sim Printf Tile

@@ -1,0 +1,1 @@
+lib/tile/platform.mli: Core_model Format M3v_dtu M3v_noc M3v_sim Tile

@@ -1,0 +1,1 @@
+lib/tile/tile.ml: Core_model Format M3v_dtu

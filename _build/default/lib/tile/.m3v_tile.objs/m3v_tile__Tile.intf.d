@@ -1,0 +1,1 @@
+lib/tile/tile.mli: Core_model Format M3v_dtu

@@ -1,0 +1,64 @@
+type kind = Rocket | Boom | X86_ooo
+
+type t = {
+  kind : kind;
+  name : string;
+  freq_hz : int;
+  ps_per_cycle : int;
+  mmio_cycles : int;
+  cmd_setup_mmio : int;
+  cmd_poll_mmio : int;
+  trap_cycles : int;
+  ctx_switch_cycles : int;
+  sched_cycles : int;
+  core_req_cycles : int;
+  translate_cycles : int;
+  pagefault_cycles : int;
+  memcpy_bytes_per_cycle : int;
+  ops_per_cycle : int;
+}
+
+let make ~kind ~name ~freq_hz ~mmio_cycles ~trap_cycles ~ctx_switch_cycles
+    ~memcpy_bytes_per_cycle ~ops_per_cycle =
+  {
+    kind;
+    name;
+    freq_hz;
+    ps_per_cycle = M3v_sim.Time.ps_per_cycle_of_hz freq_hz;
+    mmio_cycles;
+    cmd_setup_mmio = 5;
+    cmd_poll_mmio = 2;
+    trap_cycles;
+    ctx_switch_cycles;
+    sched_cycles = 180;
+    core_req_cycles = 260;
+    translate_cycles = 420;
+    pagefault_cycles = 600;
+    memcpy_bytes_per_cycle;
+    ops_per_cycle;
+  }
+
+let rocket =
+  make ~kind:Rocket ~name:"Rocket@100MHz" ~freq_hz:100_000_000 ~mmio_cycles:24
+    ~trap_cycles:180 ~ctx_switch_cycles:1_050 ~memcpy_bytes_per_cycle:4
+    ~ops_per_cycle:1
+
+let boom =
+  make ~kind:Boom ~name:"BOOM@80MHz" ~freq_hz:80_000_000 ~mmio_cycles:22
+    ~trap_cycles:150 ~ctx_switch_cycles:950 ~memcpy_bytes_per_cycle:8
+    ~ops_per_cycle:2
+
+let x86_ooo =
+  make ~kind:X86_ooo ~name:"x86-OOO@3GHz" ~freq_hz:3_000_000_000 ~mmio_cycles:40
+    ~trap_cycles:150 ~ctx_switch_cycles:950 ~memcpy_bytes_per_cycle:16
+    ~ops_per_cycle:4
+
+let cycles t n = M3v_sim.Time.of_cycles ~ps_per_cycle:t.ps_per_cycle n
+
+let cmd_overhead_cycles t =
+  (t.cmd_setup_mmio + t.cmd_poll_mmio) * t.mmio_cycles
+
+let memcpy_cycles t bytes =
+  (bytes + t.memcpy_bytes_per_cycle - 1) / t.memcpy_bytes_per_cycle
+
+let pp fmt t = Format.pp_print_string fmt t.name

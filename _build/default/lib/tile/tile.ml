@@ -1,0 +1,30 @@
+type kind =
+  | Processing of Core_model.t
+  | Controller of Core_model.t
+  | Memory of { size : int }
+  | Accelerator of { acc_name : string }
+
+type t = {
+  id : int;
+  kind : kind;
+  dtu : M3v_dtu.Dtu.t;
+  dram : M3v_dtu.Dram.t option;
+  mutable has_nic : bool;
+}
+
+let core t =
+  match t.kind with
+  | Processing c | Controller c -> Some c
+  | Memory _ | Accelerator _ -> None
+
+let is_processing t = match t.kind with Processing _ -> true | _ -> false
+let is_memory t = match t.kind with Memory _ -> true | _ -> false
+
+let pp fmt t =
+  match t.kind with
+  | Processing c ->
+      Format.fprintf fmt "tile%d[%a%s]" t.id Core_model.pp c
+        (if t.has_nic then "+NIC" else "")
+  | Controller c -> Format.fprintf fmt "tile%d[ctrl:%a]" t.id Core_model.pp c
+  | Memory { size } -> Format.fprintf fmt "tile%d[mem:%dMiB]" t.id (size / 1024 / 1024)
+  | Accelerator { acc_name } -> Format.fprintf fmt "tile%d[accel:%s]" t.id acc_name

@@ -1,0 +1,23 @@
+(** A tile of the platform: a processing core, a memory interface, or the
+    controller's core, each behind its (v)DTU. *)
+
+type kind =
+  | Processing of Core_model.t  (** user tile: core + vDTU (or DTU on M3x) *)
+  | Controller of Core_model.t  (** controller tile: core + plain DTU *)
+  | Memory of { size : int }  (** DRAM interface tile *)
+  | Accelerator of { acc_name : string }
+      (** fixed-function logic behind a plain DTU; cannot be multiplexed
+          by M3v (paper, section 8) *)
+
+type t = {
+  id : int;
+  kind : kind;
+  dtu : M3v_dtu.Dtu.t;
+  dram : M3v_dtu.Dram.t option;  (** present on memory tiles *)
+  mutable has_nic : bool;  (** a NIC is attached to this tile's core *)
+}
+
+val core : t -> Core_model.t option
+val is_processing : t -> bool
+val is_memory : t -> bool
+val pp : Format.formatter -> t -> unit

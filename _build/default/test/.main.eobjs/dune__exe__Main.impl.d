@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_apps Test_area Test_dtu Test_integration Test_kernel Test_linux Test_mux Test_noc Test_os Test_props Test_sim Test_syscalls Test_tile

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bytes Char Fs_proto Gen Hashtbl List M3v M3v_apps M3v_mux M3v_os M3v_sim Option Printf Proc QCheck QCheck_alcotest Rng Vfs

@@ -1,0 +1,1 @@
+test/test_area.ml: Alcotest List M3v_area Printf

@@ -1,0 +1,1 @@
+test/test_dtu.ml: Alcotest Bytes Dram Dtu Dtu_types Engine Ep M3v_dtu M3v_noc M3v_sim Msg Option Tlb

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Cap Controller Engine List M3v_dtu M3v_kernel M3v_sim M3v_tile

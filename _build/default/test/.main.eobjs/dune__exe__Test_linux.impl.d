@@ -1,0 +1,1 @@
+test/test_linux.ml: Alcotest Array Bytes Char Engine List M3v_linux M3v_mux M3v_os M3v_sim Printf Proc Time

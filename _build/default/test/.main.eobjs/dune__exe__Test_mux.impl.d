@@ -1,0 +1,1 @@
+test/test_mux.ml: Alcotest Array Bytes M3v M3v_dtu M3v_kernel M3v_mux M3v_sim M3v_tile Printf Proc Stats Time

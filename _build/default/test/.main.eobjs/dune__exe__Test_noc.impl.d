@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Engine List M3v_noc M3v_sim Noc QCheck QCheck_alcotest Time Topology

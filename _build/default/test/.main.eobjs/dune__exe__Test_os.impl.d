@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Bytes Char List M3v M3v_kernel M3v_mux M3v_os M3v_sim Option Printf Proc QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Bytes Engine Gen List M3v M3v_dtu M3v_mux M3v_noc M3v_os M3v_sim Option Proc QCheck QCheck_alcotest Queue Time

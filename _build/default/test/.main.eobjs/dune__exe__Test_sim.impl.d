@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_queue Fun List M3v_sim Option Proc QCheck QCheck_alcotest Rng Stats Time

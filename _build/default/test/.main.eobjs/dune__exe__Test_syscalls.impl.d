@@ -1,0 +1,1 @@
+test/test_syscalls.ml: Alcotest Array Bytes List M3v M3v_dtu M3v_kernel M3v_mux M3v_sim M3v_tile Option Printf Proc

@@ -1,0 +1,1 @@
+test/test_tile.ml: Alcotest Core_model Engine List M3v_dtu M3v_sim M3v_tile Platform Tile

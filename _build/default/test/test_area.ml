@@ -1,0 +1,82 @@
+(* Table 1 area model and SLOC counter tests. *)
+
+module Area = M3v_area.Area
+module Sloc = M3v_area.Sloc
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.05))
+let check_int = Alcotest.(check int)
+
+let test_published_totals () =
+  let t = Area.total Area.vdtu in
+  check_float "vDTU LUTs" 15.2 t.Area.luts_k;
+  check_float "vDTU FFs" 5.8 t.Area.ffs_k;
+  check_float "vDTU BRAMs" 0.5 t.Area.brams;
+  let cu = Area.total Area.noc_router in
+  check_float "router LUTs" 3.4 cu.Area.luts_k
+
+let test_composition_luts_consistent () =
+  (* The published LUT hierarchy is exactly compositional: CMD CTRL =
+     unpriv + priv; control unit = NoC CTRL + CMD CTRL. *)
+  let rows = Area.table1_rows () in
+  let find name =
+    let _, _, r = List.find (fun (_, n, _) -> n = name) rows in
+    r
+  in
+  check_float "cmd ctrl = unpriv + priv"
+    ((find "Unpriv. IF").Area.luts_k +. (find "Priv. IF").Area.luts_k)
+    (find "CMD CTRL").Area.luts_k;
+  check_float "control unit = noc + cmd"
+    ((find "NoC CTRL").Area.luts_k +. (find "CMD CTRL").Area.luts_k)
+    (find "Control Unit").Area.luts_k
+
+let test_derived_claims () =
+  check_bool "vDTU/BOOM ~10.6%" true
+    (abs_float (Area.vdtu_vs_core_percent Area.boom -. 10.6) < 0.2);
+  check_bool "vDTU/Rocket ~32.6%" true
+    (abs_float (Area.vdtu_vs_core_percent Area.rocket -. 32.6) < 0.3);
+  let ov = Area.virtualization_overhead_percent () in
+  check_bool (Printf.sprintf "virtualization ~6%% (got %.1f)" ov) true
+    (ov > 5.0 && ov < 7.5)
+
+let test_plain_dtu_strips_optional () =
+  let plain = Area.total Area.dtu_without_virtualization in
+  let full = Area.total Area.vdtu in
+  check_bool "plain DTU smaller" true (plain.Area.luts_k < full.Area.luts_k);
+  (* Exactly the privileged interface and the PMP mapper are dashed. *)
+  check_float "difference = priv IF + mapper"
+    (full.Area.luts_k -. plain.Area.luts_k)
+    (0.9 +. 0.6)
+
+let test_table_rows_order () =
+  let rows = Area.table1_rows () in
+  check_int "row count" 12 (List.length rows);
+  match rows with
+  | (0, "BOOM", _) :: (0, "Rocket", _) :: (0, "NoC router", _) :: (0, "vDTU", _) :: _ ->
+      ()
+  | _ -> Alcotest.fail "unexpected table order"
+
+let test_sloc_counting () =
+  check_int "plain lines" 2 (Sloc.count_string "let x = 1\nlet y = 2\n");
+  check_int "blank lines skipped" 1 (Sloc.count_string "\n\n  \nlet x = 1\n\n");
+  check_int "comments skipped" 1
+    (Sloc.count_string "(* a comment *)\n(* multi\n   line *)\nlet x = 1\n");
+  check_int "nested comments" 1
+    (Sloc.count_string "(* outer (* inner *) still comment *)\nlet x = 1\n");
+  check_int "code + trailing comment counts once"
+    1
+    (Sloc.count_string "let x = 1 (* note *)\n")
+
+let test_sloc_missing_dir () =
+  check_bool "missing dir is None" true (Sloc.count_dir "/nonexistent-xyz" = None)
+
+let suite =
+  [
+    ("published totals", `Quick, test_published_totals);
+    ("LUT composition", `Quick, test_composition_luts_consistent);
+    ("derived claims", `Quick, test_derived_claims);
+    ("plain DTU strips optional", `Quick, test_plain_dtu_strips_optional);
+    ("table rows order", `Quick, test_table_rows_order);
+    ("sloc counting", `Quick, test_sloc_counting);
+    ("sloc missing dir", `Quick, test_sloc_missing_dir);
+  ]

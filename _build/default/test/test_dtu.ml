@@ -1,0 +1,354 @@
+open M3v_sim
+open M3v_dtu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type Msg.data += Ping of int
+
+(* A two-processing-tile + one-memory-tile fabric without the platform
+   layer, to exercise the DTU in isolation. *)
+type fabric = {
+  eng : Engine.t;
+  d0 : Dtu.t;
+  d1 : Dtu.t;
+  dram : Dram.t;
+}
+
+let make_fabric ?(virtualized = true) () =
+  let eng = Engine.create () in
+  let topo = M3v_noc.Topology.star_mesh_2x2 ~tiles:3 in
+  let noc = M3v_noc.Noc.create eng topo in
+  let d0 = Dtu.create ~virtualized ~tile:0 eng noc in
+  let d1 = Dtu.create ~virtualized ~tile:1 eng noc in
+  let dram = Dram.create ~size:(1 lsl 20) () in
+  let lookup_dtu = function 0 -> Some d0 | 1 -> Some d1 | _ -> None in
+  let lookup_mem = function 2 -> Some dram | _ -> None in
+  Dtu.connect d0 ~lookup_dtu ~lookup_mem;
+  Dtu.connect d1 ~lookup_dtu ~lookup_mem;
+  { eng; d0; d1; dram }
+
+(* Standard channel: d0 ep1 (send, owned by act 0) -> d1 ep1 (recv, act 7). *)
+let setup_channel ?(credits = 2) ?(slots = 4) f =
+  Dtu.ext_config f.d1 ~ep:1 ~owner:7 (Ep.recv_config ~slots ~slot_size:256 ());
+  Dtu.ext_config f.d0 ~ep:1 ~owner:0
+    (Ep.send_config ~dst_tile:1 ~dst_ep:1 ~label:99 ~max_msg_size:240 ~credits ());
+  ignore (Dtu.switch_act f.d0 ~next:0);
+  ignore (Dtu.switch_act f.d1 ~next:7)
+
+let send_ok f ?reply_ep ~size data =
+  let result = ref None in
+  Dtu.send f.d0 ~ep:1 ?reply_ep ~msg_size:size data ~k:(fun r -> result := Some r);
+  ignore (Engine.run f.eng);
+  Option.get !result
+
+let test_send_recv () =
+  let f = make_fabric () in
+  setup_channel f;
+  (match send_ok f ~size:16 (Ping 42) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send failed: %s" (Dtu_types.error_to_string e));
+  check_int "unread at receiver" 1 (Dtu.unread_of f.d1 7);
+  match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some msg) ->
+      check_int "label copied from send ep" 99 msg.Msg.label;
+      check_int "size" 16 msg.Msg.size;
+      check_int "src tile" 0 msg.Msg.src_tile;
+      (match msg.Msg.data with
+      | Ping 42 -> ()
+      | _ -> Alcotest.fail "payload mismatch");
+      check_int "unread consumed" 0 (Dtu.unread_of f.d1 7)
+  | _ -> Alcotest.fail "no message fetched"
+
+let test_credits_exhaust_and_return () =
+  let f = make_fabric () in
+  setup_channel ~credits:2 f;
+  (match send_ok f ~size:8 (Ping 1) with Ok () -> () | Error _ -> Alcotest.fail "send 1");
+  (match send_ok f ~size:8 (Ping 2) with Ok () -> () | Error _ -> Alcotest.fail "send 2");
+  (match send_ok f ~size:8 (Ping 3) with
+  | Error Dtu_types.No_credits -> ()
+  | _ -> Alcotest.fail "third send should exhaust credits");
+  (* Fetch + ack one message: the credit returns and sending works again. *)
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some msg) -> (
+      match Dtu.ack f.d1 ~ep:1 msg with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "ack failed")
+  | _ -> Alcotest.fail "fetch failed");
+  ignore (Engine.run f.eng);
+  match send_ok f ~size:8 (Ping 4) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send after credit return: %s" (Dtu_types.error_to_string e)
+
+let test_recv_gone_restores_credit () =
+  let f = make_fabric () in
+  setup_channel ~credits:1 f;
+  (* Invalidate the remote receive endpoint: send must fail with Recv_gone
+     and the credit must come back (enables the M3x slow-path retry). *)
+  Dtu.ext_invalidate f.d1 ~ep:1;
+  (match send_ok f ~size:8 (Ping 1) with
+  | Error Dtu_types.Recv_gone -> ()
+  | _ -> Alcotest.fail "expected Recv_gone");
+  Dtu.ext_config f.d1 ~ep:1 ~owner:7 (Ep.recv_config ~slots:2 ~slot_size:256 ());
+  match send_ok f ~size:8 (Ping 2) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "credit was lost: %s" (Dtu_types.error_to_string e)
+
+let test_buffer_full_is_recv_gone () =
+  let f = make_fabric () in
+  setup_channel ~credits:8 ~slots:1 f;
+  (match send_ok f ~size:8 (Ping 1) with Ok () -> () | Error _ -> Alcotest.fail "send 1");
+  match send_ok f ~size:8 (Ping 2) with
+  | Error Dtu_types.Recv_gone -> ()
+  | _ -> Alcotest.fail "second send must hit a full buffer"
+
+let test_owner_isolation () =
+  let f = make_fabric () in
+  setup_channel f;
+  (* Switch tile 0 to a different activity: its endpoint must look
+     invalid (paper, section 3.5). *)
+  ignore (Dtu.switch_act f.d0 ~next:5);
+  (match send_ok f ~size:8 (Ping 1) with
+  | Error Dtu_types.Unknown_ep -> ()
+  | _ -> Alcotest.fail "foreign endpoint must be hidden");
+  (* Fetch on a foreign receive endpoint is equally hidden. *)
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  match Dtu.fetch f.d1 ~ep:1 with
+  | Error Dtu_types.Unknown_ep -> ()
+  | _ -> Alcotest.fail "foreign fetch must be hidden"
+
+let test_non_virtualized_skips_owner_checks () =
+  let f = make_fabric ~virtualized:false () in
+  setup_channel f;
+  ignore (Dtu.switch_act f.d0 ~next:5);
+  match send_ok f ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "M3x DTU has no owner tags: %s" (Dtu_types.error_to_string e)
+
+let test_delivery_to_non_running_sets_core_req () =
+  let f = make_fabric () in
+  setup_channel f;
+  (* Receiver's current activity is someone else: message still lands
+     (fast path!) but a core request is queued (paper, section 3.8). *)
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  let irqs = ref 0 in
+  Dtu.set_core_req_irq f.d1 (fun () -> incr irqs);
+  (match send_ok f ~size:8 (Ping 9) with Ok () -> () | Error _ -> Alcotest.fail "send");
+  check_int "one interrupt" 1 !irqs;
+  check_int "unread for owner" 1 (Dtu.unread_of f.d1 7);
+  (match Dtu.fetch_core_req f.d1 with
+  | Some 7 -> ()
+  | _ -> Alcotest.fail "core request must name the recipient");
+  Dtu.ack_core_req f.d1;
+  ignore (Engine.run f.eng);
+  check_bool "queue drained" true (Dtu.fetch_core_req f.d1 = None)
+
+let test_core_req_queue_reraises () =
+  let f = make_fabric () in
+  setup_channel ~credits:4 f;
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  let irqs = ref 0 in
+  Dtu.set_core_req_irq f.d1 (fun () -> incr irqs);
+  (match send_ok f ~size:8 (Ping 1) with Ok () -> () | _ -> Alcotest.fail "s1");
+  (match send_ok f ~size:8 (Ping 2) with Ok () -> () | _ -> Alcotest.fail "s2");
+  check_int "second queued without new irq" 1 !irqs;
+  check_int "queue depth" 2 (Dtu.core_req_depth f.d1);
+  Dtu.ack_core_req f.d1;
+  ignore (Engine.run f.eng);
+  check_int "irq re-raised for queued request" 2 !irqs
+
+let test_atomic_switch_returns_old_count () =
+  let f = make_fabric () in
+  setup_channel f;
+  ignore (send_ok f ~size:8 (Ping 1));
+  ignore (send_ok f ~size:8 (Ping 2));
+  let old, old_unread = Dtu.switch_act f.d1 ~next:3 in
+  check_int "old act" 7 old;
+  check_int "old unread (lost-wakeup check)" 2 old_unread;
+  check_int "new current" 3 (Dtu.cur_act f.d1)
+
+let test_reply_roundtrip_and_autoack () =
+  let f = make_fabric () in
+  setup_channel f;
+  (* Reply gate on the client side. *)
+  Dtu.ext_config f.d0 ~ep:2 ~owner:0 (Ep.recv_config ~slots:2 ~slot_size:256 ());
+  (match send_ok f ~reply_ep:2 ~size:8 (Ping 5) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send");
+  let msg =
+    match Dtu.fetch f.d1 ~ep:1 with Ok (Some m) -> m | _ -> Alcotest.fail "fetch"
+  in
+  (match msg.Msg.reply_to with
+  | Some (0, 2) -> ()
+  | _ -> Alcotest.fail "reply_to not recorded");
+  let done_ = ref false in
+  Dtu.reply f.d1 ~recv_ep:1 ~to_msg:msg ~msg_size:4 (Ping 6) ~k:(fun r ->
+      (match r with Ok () -> () | Error _ -> Alcotest.fail "reply");
+      done_ := true);
+  ignore (Engine.run f.eng);
+  check_bool "reply completed" true !done_;
+  (* The reply implicitly acked: sending twice more works with credits 2. *)
+  (match send_ok f ~size:8 (Ping 7) with Ok () -> () | _ -> Alcotest.fail "s2");
+  (match send_ok f ~size:8 (Ping 8) with Ok () -> () | _ -> Alcotest.fail "s3");
+  match Dtu.fetch f.d0 ~ep:2 with
+  | Ok (Some reply) -> (
+      match reply.Msg.data with Ping 6 -> () | _ -> Alcotest.fail "reply payload")
+  | _ -> Alcotest.fail "reply not delivered"
+
+let test_dma_read_write () =
+  let f = make_fabric () in
+  Dtu.ext_config f.d0 ~ep:4 ~owner:0
+    (Ep.mem_config ~mem_tile:2 ~base:0x100 ~size:0x1000 ~perm:Dtu_types.RW);
+  ignore (Dtu.switch_act f.d0 ~next:0);
+  let src = Bytes.of_string "hello, dram!" in
+  let r = ref None in
+  Dtu.mem_write f.d0 ~ep:4 ~off:8 ~len:(Bytes.length src) ~src_vaddr:None ~src
+    ~src_off:0 ~k:(fun x -> r := Some x);
+  ignore (Engine.run f.eng);
+  (match !r with Some (Ok ()) -> () | _ -> Alcotest.fail "write failed");
+  (* The bytes must really be in DRAM at base + off. *)
+  Alcotest.(check string)
+    "dram content" "hello, dram!"
+    (Bytes.to_string (Dram.read f.dram ~off:(0x100 + 8) ~len:(Bytes.length src)));
+  let dst = Bytes.create (Bytes.length src) in
+  let r2 = ref None in
+  Dtu.mem_read f.d0 ~ep:4 ~off:8 ~len:(Bytes.length src) ~dst_vaddr:None ~dst
+    ~dst_off:0 ~k:(fun x -> r2 := Some x);
+  ignore (Engine.run f.eng);
+  (match !r2 with Some (Ok ()) -> () | _ -> Alcotest.fail "read failed");
+  Alcotest.(check string) "round trip" "hello, dram!" (Bytes.to_string dst)
+
+let test_dma_bounds_and_perms () =
+  let f = make_fabric () in
+  Dtu.ext_config f.d0 ~ep:4 ~owner:0
+    (Ep.mem_config ~mem_tile:2 ~base:0 ~size:0x100 ~perm:Dtu_types.R);
+  ignore (Dtu.switch_act f.d0 ~next:0);
+  let buf = Bytes.create 64 in
+  let r = ref None in
+  Dtu.mem_read f.d0 ~ep:4 ~off:0xF0 ~len:64 ~dst_vaddr:None ~dst:buf ~dst_off:0
+    ~k:(fun x -> r := Some x);
+  ignore (Engine.run f.eng);
+  (match !r with
+  | Some (Error Dtu_types.Out_of_bounds) -> ()
+  | _ -> Alcotest.fail "out-of-bounds read must fail");
+  let r2 = ref None in
+  Dtu.mem_write f.d0 ~ep:4 ~off:0 ~len:16 ~src_vaddr:None ~src:buf ~src_off:0
+    ~k:(fun x -> r2 := Some x);
+  ignore (Engine.run f.eng);
+  match !r2 with
+  | Some (Error Dtu_types.No_perm) -> ()
+  | _ -> Alcotest.fail "write through read-only endpoint must fail"
+
+let test_tlb_miss_fails_command () =
+  let f = make_fabric () in
+  setup_channel f;
+  (* Sending with a virtual source address and a cold TLB must fail with a
+     translation fault (paper, section 3.6). *)
+  let r = ref None in
+  Dtu.send f.d0 ~ep:1 ~src_vaddr:0x20_0000 ~msg_size:8 (Ping 1) ~k:(fun x ->
+      r := Some x);
+  ignore (Engine.run f.eng);
+  (match !r with
+  | Some (Error (Dtu_types.Translation_fault vpage)) ->
+      check_int "faulting page" (0x20_0000 / 4096) vpage
+  | _ -> Alcotest.fail "expected translation fault");
+  (* Insert the translation through the privileged interface and retry. *)
+  Dtu.tlb_insert f.d0 ~act:0 ~vpage:(0x20_0000 / 4096) ~ppage:33 ~perm:Dtu_types.RW;
+  match send_ok f ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send after TLB fill: %s" (Dtu_types.error_to_string e)
+
+let test_page_boundary_rejected () =
+  let f = make_fabric () in
+  setup_channel f;
+  Dtu.tlb_insert f.d0 ~act:0 ~vpage:1 ~ppage:1 ~perm:Dtu_types.RW;
+  let r = ref None in
+  (* 8 bytes starting 4 bytes before a page end cross the boundary. *)
+  Dtu.send f.d0 ~ep:1 ~src_vaddr:(4096 + 4092) ~msg_size:8 (Ping 1) ~k:(fun x ->
+      r := Some x);
+  ignore (Engine.run f.eng);
+  match !r with
+  | Some (Error Dtu_types.Page_boundary) -> ()
+  | _ -> Alcotest.fail "cross-page command must be rejected"
+
+let test_ep_snapshot_restore () =
+  let f = make_fabric () in
+  setup_channel f;
+  ignore (send_ok f ~size:8 (Ping 77));
+  (* Save the receiver's endpoint (including the buffered message),
+     invalidate, then restore: the message must survive (M3x switch). *)
+  let saved = Dtu.ext_snapshot_eps f.d1 ~first:1 ~count:1 in
+  Dtu.ext_invalidate f.d1 ~ep:1;
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Error Dtu_types.No_such_ep -> ()
+  | _ -> Alcotest.fail "invalidated ep must be gone");
+  Dtu.ext_restore_eps f.d1 ~first:1 saved;
+  match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some msg) -> (
+      match msg.Msg.data with Ping 77 -> () | _ -> Alcotest.fail "payload lost")
+  | _ -> Alcotest.fail "message lost across snapshot/restore"
+
+let test_ext_inject () =
+  let f = make_fabric () in
+  setup_channel f;
+  let msg = Msg.make ~src_tile:0 ~src_act:0 ~size:8 (Ping 123) in
+  (match Dtu.ext_inject f.d1 ~ep:1 msg with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "inject failed");
+  match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some m) -> (
+      match m.Msg.data with Ping 123 -> () | _ -> Alcotest.fail "payload")
+  | _ -> Alcotest.fail "injected message not readable"
+
+(* --- Tlb unit tests --- *)
+
+let test_tlb_eviction () =
+  let tlb = Tlb.create ~capacity:2 in
+  Tlb.insert tlb ~act:1 ~vpage:10 ~ppage:100 ~perm:Dtu_types.RW;
+  Tlb.insert tlb ~act:1 ~vpage:11 ~ppage:101 ~perm:Dtu_types.RW;
+  Tlb.insert tlb ~act:1 ~vpage:12 ~ppage:102 ~perm:Dtu_types.RW;
+  check_int "capacity respected" 2 (Tlb.entry_count tlb);
+  check_bool "oldest evicted" true
+    (Tlb.lookup tlb ~act:1 ~vpage:10 ~write:false = None);
+  check_bool "newest present" true
+    (Tlb.lookup tlb ~act:1 ~vpage:12 ~write:false = Some 102)
+
+let test_tlb_perms_and_act_tags () =
+  let tlb = Tlb.create ~capacity:8 in
+  Tlb.insert tlb ~act:1 ~vpage:5 ~ppage:50 ~perm:Dtu_types.R;
+  check_bool "read allowed" true (Tlb.lookup tlb ~act:1 ~vpage:5 ~write:false = Some 50);
+  check_bool "write refused" true (Tlb.lookup tlb ~act:1 ~vpage:5 ~write:true = None);
+  check_bool "other act misses" true (Tlb.lookup tlb ~act:2 ~vpage:5 ~write:false = None);
+  Tlb.invalidate_act tlb 1;
+  check_bool "invalidate act" true (Tlb.lookup tlb ~act:1 ~vpage:5 ~write:false = None)
+
+(* --- Dram --- *)
+
+let test_dram_contention () =
+  let dram = Dram.create ~size:4096 () in
+  let t1 = Dram.access_time dram ~now:0 ~bytes:1024 in
+  let t2 = Dram.access_time dram ~now:0 ~bytes:1024 in
+  check_bool "second access serialized" true (t2 >= 2 * t1 - 1)
+
+let suite =
+  [
+    ("send/recv", `Quick, test_send_recv);
+    ("credits exhaust and return", `Quick, test_credits_exhaust_and_return);
+    ("recv_gone restores credit", `Quick, test_recv_gone_restores_credit);
+    ("full buffer", `Quick, test_buffer_full_is_recv_gone);
+    ("owner isolation", `Quick, test_owner_isolation);
+    ("non-virtualized skips owner checks", `Quick, test_non_virtualized_skips_owner_checks);
+    ("fast path + core request", `Quick, test_delivery_to_non_running_sets_core_req);
+    ("core request queue re-raises", `Quick, test_core_req_queue_reraises);
+    ("atomic switch old count", `Quick, test_atomic_switch_returns_old_count);
+    ("reply round trip + auto-ack", `Quick, test_reply_roundtrip_and_autoack);
+    ("dma read/write", `Quick, test_dma_read_write);
+    ("dma bounds and perms", `Quick, test_dma_bounds_and_perms);
+    ("tlb miss fails command", `Quick, test_tlb_miss_fails_command);
+    ("page boundary rejected", `Quick, test_page_boundary_rejected);
+    ("ep snapshot/restore", `Quick, test_ep_snapshot_restore);
+    ("ext inject", `Quick, test_ext_inject);
+    ("tlb eviction", `Quick, test_tlb_eviction);
+    ("tlb perms and tags", `Quick, test_tlb_perms_and_act_tags);
+    ("dram contention", `Quick, test_dram_contention);
+  ]

@@ -1,0 +1,157 @@
+open M3v_sim
+open M3v_kernel
+module Dtu = M3v_dtu.Dtu
+module Dtu_types = M3v_dtu.Dtu_types
+module Platform = M3v_tile.Platform
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Cap unit tests --- *)
+
+let mgate ~size =
+  Cap.Mgate { mg_tile = 9; mg_base = 0; mg_size = size; mg_perm = Dtu_types.RW }
+
+let test_cap_derive_mem () =
+  let root = Cap.make ~sel:0 ~owner:1 (mgate ~size:4096) in
+  (match Cap.derive_mem root ~sel:1 ~owner:2 ~off:1024 ~len:512 ~perm:Dtu_types.R with
+  | Ok child -> (
+      match child.Cap.obj with
+      | Cap.Mgate { mg_base; mg_size; mg_perm; _ } ->
+          check_int "base shifted" 1024 mg_base;
+          check_int "size clipped" 512 mg_size;
+          check_bool "perm intersected" true (mg_perm = Dtu_types.R)
+      | _ -> Alcotest.fail "wrong object")
+  | Error e -> Alcotest.failf "derive failed: %s" e);
+  (match Cap.derive_mem root ~sel:2 ~owner:2 ~off:4000 ~len:512 ~perm:Dtu_types.RW with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range derive must fail");
+  check_int "live count" 2 (Cap.live_count root)
+
+let test_cap_revoke_subtree () =
+  let root = Cap.make ~sel:0 ~owner:1 (mgate ~size:65536) in
+  let c1 =
+    match Cap.derive_mem root ~sel:1 ~owner:2 ~off:0 ~len:4096 ~perm:Dtu_types.RW with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "derive: %s" e
+  in
+  let _c2 =
+    match Cap.derive_mem c1 ~sel:2 ~owner:3 ~off:0 ~len:1024 ~perm:Dtu_types.R with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "derive: %s" e
+  in
+  Cap.note_activation c1 ~tile:4 ~ep:12;
+  let killed, eps = Cap.revoke c1 in
+  check_int "subtree killed" 2 (List.length killed);
+  Alcotest.(check (list (pair int int))) "eps to invalidate" [ (4, 12) ] eps;
+  check_bool "child dead" false c1.Cap.live;
+  check_bool "root alive" true root.Cap.live;
+  check_int "root live count" 1 (Cap.live_count root)
+
+let test_cap_revoke_root () =
+  let root = Cap.make ~sel:0 ~owner:1 (mgate ~size:65536) in
+  let rec grow parent depth =
+    if depth > 0 then
+      match
+        Cap.derive_mem parent ~sel:depth ~owner:2 ~off:0 ~len:512 ~perm:Dtu_types.R
+      with
+      | Ok c -> grow c (depth - 1)
+      | Error e -> Alcotest.failf "derive: %s" e
+  in
+  grow root 5;
+  let killed, _ = Cap.revoke root in
+  check_int "whole chain revoked" 6 (List.length killed);
+  check_bool "derive from revoked fails" true
+    (try
+       ignore (Cap.derive root ~sel:9 ~owner:1 (mgate ~size:16));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Controller host API --- *)
+
+let make_system ?(mode = Controller.M3v) () =
+  let eng = Engine.create () in
+  let platform =
+    Platform.create ~virtualized:(mode = Controller.M3v)
+      ~tiles:(Platform.fpga_spec ()) eng ()
+  in
+  let ctrl = Controller.create ~mode ~platform ~tile:0 () in
+  (eng, platform, ctrl)
+
+let test_host_channel_setup () =
+  let eng, platform, ctrl = make_system () in
+  let server = Controller.host_new_act ctrl ~tile:2 ~name:"server" in
+  let client = Controller.host_new_act ctrl ~tile:1 ~name:"client" in
+  check_bool "distinct ids" true (server <> client);
+  Alcotest.(check string) "name" "server" (Controller.act_name ctrl server);
+  check_int "tile" 2 (Controller.act_tile ctrl server);
+  let rgate_sel = Controller.host_new_rgate ctrl ~act:server ~slots:4 ~slot_size:256 in
+  let rep = Controller.host_activate ctrl ~act:server ~sel:rgate_sel () in
+  let sgate_sel =
+    Controller.host_new_sgate ctrl ~owner:client ~rgate_of:server ~rgate_sel
+      ~label:5 ~credits:2 ()
+  in
+  let sep = Controller.host_activate ctrl ~act:client ~sel:sgate_sel () in
+  (* The endpoints are configured with the right owners. *)
+  check_bool "recv ep owner" true
+    ((Dtu.ext_read_ep (Platform.dtu platform 2) ~ep:rep).M3v_dtu.Ep.owner = server);
+  (* Messages flow over the established channel. *)
+  let d1 = Platform.dtu platform 1 in
+  ignore (Dtu.switch_act d1 ~next:client);
+  let ok = ref false in
+  Dtu.send d1 ~ep:sep ~msg_size:8 M3v_dtu.Msg.Empty ~k:(fun r -> ok := r = Ok ());
+  ignore (Engine.run eng);
+  check_bool "channel works" true !ok;
+  check_int "delivered to server" 1 (Dtu.unread_of (Platform.dtu platform 2) server);
+  (* ep_owner registry knows the receive endpoint. *)
+  check_bool "ep owner recorded" true
+    (Controller.ep_owner ctrl ~tile:2 ~ep:rep = Some server)
+
+let test_host_alloc_mem () =
+  let _, _, ctrl = make_system () in
+  let t1, b1 = Controller.host_alloc_mem ctrl ~size:4096 in
+  let t2, b2 = Controller.host_alloc_mem ctrl ~size:4096 in
+  check_bool "no overlap" true (t1 <> t2 || b1 <> b2);
+  check_int "bump allocation" 4096 (abs (b2 - b1))
+
+let test_sgate_needs_located_rgate () =
+  let _, _, ctrl = make_system () in
+  let server = Controller.host_new_act ctrl ~tile:2 ~name:"server" in
+  let client = Controller.host_new_act ctrl ~tile:1 ~name:"client" in
+  let rgate_sel = Controller.host_new_rgate ctrl ~act:server ~slots:2 ~slot_size:128 in
+  let sgate_sel =
+    Controller.host_new_sgate ctrl ~owner:client ~rgate_of:server ~rgate_sel
+      ~credits:1 ()
+  in
+  (* Activating the send gate before the receive gate must fail. *)
+  check_bool "unlocated rgate rejected" true
+    (try
+       ignore (Controller.host_activate ctrl ~act:client ~sel:sgate_sel ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_syscall_channel () =
+  let _, platform, ctrl = make_system () in
+  let act = Controller.host_new_act ctrl ~tile:1 ~name:"app" in
+  let sgate, rgate = Controller.host_setup_syscall_channel ctrl ~act in
+  check_bool "distinct eps" true (sgate <> rgate);
+  let d = Platform.dtu platform 1 in
+  (match (Dtu.ext_read_ep d ~ep:sgate).M3v_dtu.Ep.cfg with
+  | M3v_dtu.Ep.Send s ->
+      check_int "targets controller tile" 0 s.M3v_dtu.Ep.dst_tile;
+      check_int "label is act id" act s.M3v_dtu.Ep.label
+  | _ -> Alcotest.fail "syscall sgate not configured");
+  (* Idempotent. *)
+  let again = Controller.host_setup_syscall_channel ctrl ~act in
+  check_bool "idempotent" true (again = (sgate, rgate))
+
+let suite =
+  [
+    ("cap derive mem", `Quick, test_cap_derive_mem);
+    ("cap revoke subtree", `Quick, test_cap_revoke_subtree);
+    ("cap revoke root chain", `Quick, test_cap_revoke_root);
+    ("host channel setup", `Quick, test_host_channel_setup);
+    ("host alloc mem", `Quick, test_host_alloc_mem);
+    ("sgate needs located rgate", `Quick, test_sgate_needs_located_rgate);
+    ("syscall channel", `Quick, test_syscall_channel);
+  ]

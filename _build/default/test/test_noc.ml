@@ -1,0 +1,128 @@
+open M3v_sim
+open M3v_noc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_star_mesh_routes () =
+  let topo = Topology.star_mesh_2x2 ~tiles:8 in
+  check_int "tiles" 8 (Topology.tiles topo);
+  check_int "routers" 4 (Topology.routers topo);
+  (* Same tile: empty route. *)
+  Alcotest.(check (list int)) "self route" [] (Topology.route topo ~src:3 ~dst:3);
+  (* Tiles 0 and 4 share router 0: inject + eject only. *)
+  check_int "same-router hops" 0 (Topology.hops topo ~src:0 ~dst:4);
+  check_int "same-router route length" 2
+    (List.length (Topology.route topo ~src:0 ~dst:4));
+  (* Router 0 and router 3 are diagonal in the 2x2 mesh: two hops. *)
+  check_int "diagonal hops" 2 (Topology.hops topo ~src:0 ~dst:3)
+
+let test_route_endpoints_are_tile_links () =
+  let topo = Topology.star_mesh_2x2 ~tiles:11 in
+  for src = 0 to 10 do
+    for dst = 0 to 10 do
+      if src <> dst then begin
+        let route = Topology.route topo ~src ~dst in
+        check_bool "starts with injection" true (List.hd route = src);
+        let last = List.nth route (List.length route - 1) in
+        check_bool "ends with ejection" true (last = 11 + dst)
+      end
+    done
+  done
+
+let test_mesh_and_ring () =
+  let mesh = Topology.mesh ~cols:3 ~rows:2 ~tiles:12 in
+  check_int "mesh routers" 6 (Topology.routers mesh);
+  (* Corner to corner in a 3x2 mesh: 3 hops. *)
+  check_int "mesh diameter path" 3 (Topology.hops mesh ~src:0 ~dst:11);
+  let ring = Topology.ring ~routers:6 ~tiles:6 in
+  (* Opposite side of a 6-ring: 3 hops. *)
+  check_int "ring opposite" 3 (Topology.hops ring ~src:0 ~dst:3)
+
+let test_single_router () =
+  let topo = Topology.single_router ~tiles:4 in
+  check_int "hops always zero" 0 (Topology.hops topo ~src:0 ~dst:3);
+  check_int "route = inject + eject" 2 (List.length (Topology.route topo ~src:0 ~dst:3))
+
+let make_noc ?(tiles = 8) () =
+  let eng = Engine.create () in
+  let topo = Topology.star_mesh_2x2 ~tiles in
+  (eng, Noc.create eng topo)
+
+let test_delivery_time () =
+  let eng, noc = make_noc () in
+  let delivered_at = ref Time.zero in
+  Noc.send noc ~src:0 ~dst:3 ~bytes:64 ~on_delivered:(fun () ->
+      delivered_at := Engine.now eng);
+  ignore (Engine.run eng);
+  let expect = Noc.uncontended_latency noc ~src:0 ~dst:3 ~bytes:64 in
+  check_int "matches uncontended estimate" expect !delivered_at;
+  (* Tile-to-tile latency should be "dozens of nanoseconds" (paper 2.3). *)
+  check_bool "latency below 100ns" true (!delivered_at < Time.ns 100);
+  check_bool "latency above 10ns" true (!delivered_at > Time.ns 10)
+
+let test_contention_serializes () =
+  let eng, noc = make_noc () in
+  let t1 = ref Time.zero and t2 = ref Time.zero in
+  (* Two packets over the same links back to back: the second must wait. *)
+  Noc.send noc ~src:0 ~dst:3 ~bytes:4096 ~on_delivered:(fun () -> t1 := Engine.now eng);
+  Noc.send noc ~src:0 ~dst:3 ~bytes:4096 ~on_delivered:(fun () -> t2 := Engine.now eng);
+  ignore (Engine.run eng);
+  let solo = Noc.uncontended_latency noc ~src:0 ~dst:3 ~bytes:4096 in
+  check_bool "first unaffected" true (!t1 = solo);
+  check_bool "second delayed" true (!t2 > !t1);
+  check_bool "second delayed by roughly one serialization" true
+    (Time.sub !t2 !t1 >= Time.ns 500)
+
+let test_disjoint_paths_parallel () =
+  let eng, noc = make_noc () in
+  (* Tiles 1 and 5 share router 1; tiles 2 and 6 share router 2; the two
+     transfers use disjoint links and must not delay each other. *)
+  let t1 = ref Time.zero and t2 = ref Time.zero in
+  Noc.send noc ~src:1 ~dst:5 ~bytes:1024 ~on_delivered:(fun () -> t1 := Engine.now eng);
+  Noc.send noc ~src:2 ~dst:6 ~bytes:1024 ~on_delivered:(fun () -> t2 := Engine.now eng);
+  ignore (Engine.run eng);
+  check_int "equal latency" !t1 !t2
+
+let test_loopback () =
+  let eng, noc = make_noc () in
+  let t = ref Time.zero in
+  Noc.send noc ~src:2 ~dst:2 ~bytes:64 ~on_delivered:(fun () -> t := Engine.now eng);
+  ignore (Engine.run eng);
+  check_bool "loopback is fast" true (!t <= Time.ns 10)
+
+let test_stats () =
+  let eng, noc = make_noc () in
+  Noc.send noc ~src:0 ~dst:1 ~bytes:100 ~on_delivered:(fun () -> ());
+  Noc.send noc ~src:1 ~dst:0 ~bytes:32 ~on_delivered:(fun () -> ());
+  ignore (Engine.run eng);
+  let s = Noc.stats noc in
+  check_int "packets" 2 s.Noc.packets;
+  check_int "payload bytes" 132 s.Noc.payload_bytes;
+  (* 100B -> 7 flits + 1 header; 32B -> 2 + 1. *)
+  check_int "flits" 11 s.Noc.total_flits;
+  Noc.reset_stats noc;
+  check_int "reset" 0 (Noc.stats noc).Noc.packets
+
+let test_bandwidth_larger_packets_slower =
+  QCheck.Test.make ~name:"noc latency monotone in size" ~count:50
+    QCheck.(pair (int_range 1 2000) (int_range 1 2000))
+    (fun (a, b) ->
+      let _, noc = make_noc () in
+      let la = Noc.uncontended_latency noc ~src:0 ~dst:3 ~bytes:a in
+      let lb = Noc.uncontended_latency noc ~src:0 ~dst:3 ~bytes:b in
+      (a <= b && la <= lb) || (a >= b && la >= lb))
+
+let suite =
+  [
+    ("star-mesh routes", `Quick, test_star_mesh_routes);
+    ("route endpoints", `Quick, test_route_endpoints_are_tile_links);
+    ("mesh and ring", `Quick, test_mesh_and_ring);
+    ("single router", `Quick, test_single_router);
+    ("delivery time", `Quick, test_delivery_time);
+    ("contention serializes", `Quick, test_contention_serializes);
+    ("disjoint paths parallel", `Quick, test_disjoint_paths_parallel);
+    ("loopback", `Quick, test_loopback);
+    ("stats", `Quick, test_stats);
+  ]
+  @ [ QCheck_alcotest.to_alcotest test_bandwidth_larger_packets_slower ]

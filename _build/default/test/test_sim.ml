@@ -1,0 +1,235 @@
+open M3v_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time --- *)
+
+let test_time_units () =
+  check_int "ns" 1_000 (Time.ns 1);
+  check_int "us" 1_000_000 (Time.us 1);
+  check_int "ms" 1_000_000_000 (Time.ms 1);
+  check_int "s" 1_000_000_000_000 (Time.s 1)
+
+let test_time_cycles () =
+  let ps_80mhz = Time.ps_per_cycle_of_hz 80_000_000 in
+  check_int "80 MHz cycle" 12_500 ps_80mhz;
+  let ps_3ghz = Time.ps_per_cycle_of_hz 3_000_000_000 in
+  check_int "3 GHz cycle" 333 ps_3ghz;
+  check_int "cycles round trip" 100
+    (Time.to_cycles ~ps_per_cycle:ps_80mhz (Time.of_cycles ~ps_per_cycle:ps_80mhz 100))
+
+let test_time_freq_rounding () =
+  check_int "100 MHz" 10_000 (Time.ps_per_cycle_of_hz 100_000_000);
+  check_bool "never zero" true (Time.ps_per_cycle_of_hz max_int >= 1)
+
+(* --- Event_queue --- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:30 "c";
+  Event_queue.push q ~time:10 "a";
+  Event_queue.push q ~time:20 "b";
+  let order = List.init 3 (fun _ -> Event_queue.pop q |> Option.get |> snd) in
+  Alcotest.(check (list string)) "min-heap order" [ "a"; "b"; "c" ] order;
+  check_bool "drained" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iteri (fun i v -> Event_queue.push q ~time:(if i = 1 then 5 else 5) v)
+    [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> Event_queue.pop q |> Option.get |> snd) in
+  Alcotest.(check (list string)) "FIFO on equal timestamps" [ "x"; "y"; "z" ] order
+
+let test_queue_many =
+  QCheck.Test.make ~name:"event queue pops in sorted order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> Event_queue.push q ~time ()) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (time, ()) -> drain (time :: acc)
+      in
+      drain [] = List.sort compare times)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.at eng ~time:(Time.ns 50) (fun () -> log := 2 :: !log);
+  Engine.at eng ~time:(Time.ns 10) (fun () -> log := 1 :: !log);
+  Engine.after eng ~delay:(Time.ns 100) (fun () -> log := 3 :: !log);
+  let n = Engine.run eng in
+  check_int "events processed" 3 n;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" (Time.ns 100) (Engine.now eng)
+
+let test_engine_nested_scheduling () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.after eng ~delay:10 (fun () ->
+      incr hits;
+      Engine.after eng ~delay:10 (fun () ->
+          incr hits;
+          Engine.after eng ~delay:10 (fun () -> incr hits)));
+  ignore (Engine.run eng);
+  check_int "nested chain ran" 3 !hits;
+  check_int "time accumulated" 30 (Engine.now eng)
+
+let test_engine_horizon () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.after eng ~delay:10 (fun () -> incr hits);
+  Engine.after eng ~delay:1000 (fun () -> incr hits);
+  let n = Engine.run ~until:500 eng in
+  check_int "only events before horizon" 1 n;
+  check_int "clock moved to horizon" 500 (Engine.now eng);
+  ignore (Engine.run eng);
+  check_int "rest ran later" 2 !hits
+
+let test_engine_rejects_past () =
+  let eng = Engine.create () in
+  Engine.after eng ~delay:100 (fun () -> ());
+  ignore (Engine.run eng);
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.at: time 10ps is in the past (now 100ps)")
+    (fun () -> Engine.at eng ~time:10 (fun () -> ()))
+
+(* --- Proc --- *)
+
+type Proc.op += Add_op of int
+type Proc.resp += Sum of int
+
+let run_proc p =
+  (* A tiny runtime: sums Add_op operands. *)
+  let total = ref 0 in
+  let rec step = function
+    | Proc.Finished -> ()
+    | Proc.Request (Add_op n, k) ->
+        total := !total + n;
+        step (k (Sum !total))
+    | Proc.Request (_, k) -> step (k Proc.Unit)
+  in
+  step (Proc.run p);
+  !total
+
+let test_proc_sequencing () =
+  let open Proc.Syntax in
+  let add n = Proc.perform (Add_op n) (function Sum s -> s | r -> Proc.decode_error "add" r) in
+  let prog =
+    let* a = add 1 in
+    let* b = add 2 in
+    let* c = add 3 in
+    if a + b + c <> 1 + 3 + 6 then failwith "intermediate sums wrong";
+    Proc.return ()
+  in
+  check_int "total" 6 (run_proc prog)
+
+let test_proc_repeat () =
+  let add n = Proc.perform (Add_op n) (fun _ -> ()) in
+  check_int "repeat" 10 (run_proc (Proc.repeat 10 (fun _ -> add 1)))
+
+let test_proc_fold_iter () =
+  let add n = Proc.perform (Add_op n) (fun _ -> ()) in
+  let open Proc.Syntax in
+  let prog =
+    let* () = Proc.iter_list add [ 5; 6 ] in
+    let* total = Proc.fold_list (fun acc x -> Proc.map (fun () -> acc + x) (add x)) 0 [ 1; 2 ] in
+    if total <> 3 then failwith "fold result wrong";
+    Proc.return ()
+  in
+  check_int "ops summed" 14 (run_proc prog)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next a = Rng.next b)
+  done
+
+let test_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_split_independent () =
+  let base = Rng.create ~seed:7 in
+  let s1 = Rng.split base in
+  let s2 = Rng.split base in
+  let differ = ref false in
+  for _ = 1 to 20 do
+    if Rng.next s1 <> Rng.next s2 then differ := true
+  done;
+  check_bool "split streams differ" true !differ
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+(* --- Stats --- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.Stats.median;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  check_int "n" 4 s.Stats.n
+
+let test_stats_percentile () =
+  let xs = List.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100.0 xs)
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant sample" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  let sd = Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-6)) "known stddev" 2.13809 sd
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.add c "b" 2.5;
+  Alcotest.(check (float 1e-9)) "a" 2.0 (Stats.Counter.get c "a");
+  Alcotest.(check (float 1e-9)) "b" 2.5 (Stats.Counter.get c "b");
+  Alcotest.(check (float 1e-9)) "missing" 0.0 (Stats.Counter.get c "zzz");
+  check_int "listing" 2 (List.length (Stats.Counter.to_list c))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("time cycles", `Quick, test_time_cycles);
+    ("time freq rounding", `Quick, test_time_freq_rounding);
+    ("event queue order", `Quick, test_queue_order);
+    ("event queue fifo ties", `Quick, test_queue_fifo_ties);
+    ("engine ordering", `Quick, test_engine_runs_in_order);
+    ("engine nested", `Quick, test_engine_nested_scheduling);
+    ("engine horizon", `Quick, test_engine_horizon);
+    ("engine rejects past", `Quick, test_engine_rejects_past);
+    ("proc sequencing", `Quick, test_proc_sequencing);
+    ("proc repeat", `Quick, test_proc_repeat);
+    ("proc fold/iter", `Quick, test_proc_fold_iter);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng shuffle", `Quick, test_rng_shuffle_permutes);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats counter", `Quick, test_counter);
+  ]
+  @ qsuite [ test_queue_many; test_rng_bounds ]

@@ -1,0 +1,86 @@
+open M3v_sim
+open M3v_tile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_core_models () =
+  check_int "rocket cycle" 10_000 Core_model.rocket.Core_model.ps_per_cycle;
+  check_int "boom cycle" 12_500 Core_model.boom.Core_model.ps_per_cycle;
+  check_int "x86 cycle" 333 Core_model.x86_ooo.Core_model.ps_per_cycle;
+  check_int "boom 1000 cycles" 12_500_000 (Core_model.cycles Core_model.boom 1_000);
+  check_bool "cmd overhead positive" true (Core_model.cmd_overhead_cycles Core_model.boom > 100);
+  check_int "memcpy 64B on boom" 8 (Core_model.memcpy_cycles Core_model.boom 64)
+
+let test_fpga_spec () =
+  let spec = Platform.fpga_spec () in
+  (* 1 controller + 7 BOOM + 1 Rocket + 2 memory tiles. *)
+  check_int "tile count" 11 (List.length spec);
+  let eng = Engine.create () in
+  let p = Platform.create ~virtualized:true ~tiles:spec eng () in
+  check_int "controller tile" 0 (Platform.controller_tile p);
+  check_int "memory tiles" 2 (List.length (Platform.memory_tiles p));
+  check_int "processing tiles" 8 (List.length (Platform.processing_tiles p));
+  (* NIC on the first BOOM tile. *)
+  check_bool "nic present" true (Platform.tile p 1).Tile.has_nic;
+  (* Controller and memory tiles get plain DTUs; user tiles get vDTUs. *)
+  check_bool "controller dtu plain" false
+    (M3v_dtu.Dtu.virtualized (Platform.dtu p 0));
+  check_bool "user tile vdtu" true (M3v_dtu.Dtu.virtualized (Platform.dtu p 1))
+
+let test_gem5_spec () =
+  let eng = Engine.create () in
+  let p =
+    Platform.create ~virtualized:false ~tiles:(Platform.gem5_spec ~user_tiles:12 ())
+      eng ()
+  in
+  check_int "tiles" 14 (Platform.tile_count p);
+  check_int "user tiles" 12 (List.length (Platform.processing_tiles p));
+  (* M3x platform: even user tiles have plain DTUs. *)
+  check_bool "no vdtu in m3x" false (M3v_dtu.Dtu.virtualized (Platform.dtu p 1))
+
+let test_platform_wiring () =
+  let eng = Engine.create () in
+  let p = Platform.create ~virtualized:true ~tiles:(Platform.fpga_spec ()) eng () in
+  (* DTUs must reach each other through the wired lookups: a send from
+     tile 1 to tile 2 must land. *)
+  let d1 = Platform.dtu p 1 and d2 = Platform.dtu p 2 in
+  M3v_dtu.Dtu.ext_config d2 ~ep:10 ~owner:3
+    (M3v_dtu.Ep.recv_config ~slots:2 ~slot_size:128 ());
+  M3v_dtu.Dtu.ext_config d1 ~ep:10 ~owner:4
+    (M3v_dtu.Ep.send_config ~dst_tile:2 ~dst_ep:10 ~max_msg_size:64 ~credits:1 ());
+  ignore (M3v_dtu.Dtu.switch_act d1 ~next:4);
+  let ok = ref false in
+  M3v_dtu.Dtu.send d1 ~ep:10 ~msg_size:8 M3v_dtu.Msg.Empty ~k:(fun r ->
+      ok := r = Ok ());
+  ignore (Engine.run eng);
+  check_bool "cross-tile send works" true !ok;
+  check_int "message arrived" 1 (M3v_dtu.Dtu.unread_of d2 3);
+  (* DRAM is reachable and bounds are per-tile. *)
+  let dram = Platform.dram_exn p (List.hd (Platform.memory_tiles p)) in
+  check_bool "dram sized" true (M3v_dtu.Dram.size dram >= 1 lsl 20)
+
+let test_bad_specs_rejected () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "no tiles" (Invalid_argument "Platform.create: no tiles")
+    (fun () -> ignore (Platform.create ~virtualized:true ~tiles:[] eng ()));
+  let p = Platform.create ~virtualized:true ~tiles:(Platform.fpga_spec ()) eng () in
+  check_bool "tile out of range raises" true
+    (try
+       ignore (Platform.tile p 99);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "core_exn on memory tile raises" true
+    (try
+       ignore (Platform.core_exn p (List.hd (Platform.memory_tiles p)));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("core models", `Quick, test_core_models);
+    ("fpga spec", `Quick, test_fpga_spec);
+    ("gem5 spec", `Quick, test_gem5_spec);
+    ("platform wiring", `Quick, test_platform_wiring);
+    ("bad specs rejected", `Quick, test_bad_specs_rejected);
+  ]
