@@ -1,17 +1,29 @@
 (* m3vsim: run the paper's experiments and print each table/figure.
 
-   Usage: m3vsim <experiment> [options], or `m3vsim all`. *)
+   Usage: m3vsim <experiment> [options], or `m3vsim all`.  Every
+   experiment accepts --trace FILE to additionally record a Chrome
+   trace-event JSON file (load it in chrome://tracing or Perfetto) and
+   print latency percentiles; `m3vsim --trace FILE` with no experiment
+   runs a traced RPC microbenchmark (fig6). *)
 
 open Cmdliner
 
-let run_fig6 rounds = M3v.Exp_runner.fig6 ~rounds
+let trace =
+  let doc =
+    "Record the run into a Chrome trace-event JSON file at $(docv) \
+     (viewable in chrome://tracing or Perfetto) and print latency \
+     percentiles and a per-tile event summary."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let rounds =
   let doc = "Measured RPC round trips." in
   Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
 
 let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: local/remote RPC vs Linux primitives")
-    Term.(const run_fig6 $ rounds)
+    Term.(const (fun trace rounds -> M3v.Exp_runner.fig6 ?trace ~rounds ())
+          $ trace $ rounds)
 
 let runs =
   let doc = "Measured repetitions." in
@@ -19,27 +31,33 @@ let runs =
 
 let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: file read/write throughput")
-    Term.(const (fun runs -> M3v.Exp_runner.fig7 ~runs) $ runs)
+    Term.(const (fun trace runs -> M3v.Exp_runner.fig7 ?trace ~runs ())
+          $ trace $ runs)
 
 let fig8_cmd =
   Cmd.v (Cmd.info "fig8" ~doc:"Figure 8: UDP latency")
-    Term.(const (fun runs -> M3v.Exp_runner.fig8 ~runs) $ runs)
+    Term.(const (fun trace runs -> M3v.Exp_runner.fig8 ?trace ~runs ())
+          $ trace $ runs)
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun runs -> M3v.Exp_runner.fig9 ~runs) $ runs)
+    Term.(const (fun trace runs -> M3v.Exp_runner.fig9 ?trace ~runs ())
+          $ trace $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
-    Term.(const (fun runs -> M3v.Exp_runner.fig10 ~runs) $ runs)
+    Term.(const (fun trace runs -> M3v.Exp_runner.fig10 ?trace ~runs ())
+          $ trace $ runs)
 
 let voice_cmd =
   Cmd.v (Cmd.info "voice" ~doc:"Section 6.5.1: voice assistant sharing overhead")
-    Term.(const (fun runs -> M3v.Exp_runner.voice ~runs) $ runs)
+    Term.(const (fun trace runs -> M3v.Exp_runner.voice ?trace ~runs ())
+          $ trace $ runs)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
-    Term.(const M3v.Exp_runner.table1 $ const ())
+    Term.(const (fun trace () -> M3v.Exp_runner.table1 ?trace ())
+          $ trace $ const ())
 
 let complexity_cmd =
   Cmd.v (Cmd.info "complexity" ~doc:"Section 6.1: software complexity (SLOC)")
@@ -48,17 +66,29 @@ let complexity_cmd =
 let ablations_cmd =
   Cmd.v
     (Cmd.info "ablations" ~doc:"Ablation studies: extent cap, TLB size, topology, M3x state")
-    Term.(const M3v.Exp_runner.ablations $ const ())
+    Term.(const (fun trace () -> M3v.Exp_runner.ablations ?trace ())
+          $ trace $ const ())
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (paper evaluation order)")
     Term.(const M3v.Exp_runner.all $ const ())
 
+(* Bare `m3vsim --trace FILE` runs a traced RPC microbenchmark; bare
+   `m3vsim` shows the experiment list. *)
+let default =
+  Term.ret
+    Term.(
+      const (fun trace ->
+          match trace with
+          | Some _ -> `Ok (M3v.Exp_runner.fig6 ?trace ~rounds:200 ())
+          | None -> `Help (`Pager, None))
+      $ trace)
+
 let () =
   let info = Cmd.info "m3vsim" ~doc:"M3v reproduction: experiment runner" in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default info
           [
             fig6_cmd;
             fig7_cmd;

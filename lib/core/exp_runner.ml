@@ -1,23 +1,62 @@
 let opt v = if v <= 0 then None else Some v
 
-let fig6 ~rounds = Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ())
-let fig7 ~runs = Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ())
-let fig8 ~runs = Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ())
-let fig9 ~runs = Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ())
-let fig10 ~runs = Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ())
-let voice ~runs = Exp_voice.print (Exp_voice.run ?runs:(opt runs) ())
-let table1 () = Exp_table1.print (Exp_table1.run ())
+(* When [trace] names a file, run the experiment with a trace sink
+   installed, then dump Chrome trace-event JSON there and print the
+   latency/summary tables. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      (* Open before the (possibly long) run so a bad path fails fast. *)
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Format.eprintf "m3vsim: cannot write trace file: %s@." msg;
+          exit 1
+      in
+      let sink = M3v_obs.Trace.make () in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          M3v_obs.Trace.with_sink sink f;
+          M3v_obs.Chrome.write oc sink);
+      Format.printf "@.trace: %d events -> %s@." (M3v_obs.Trace.event_count sink)
+        path;
+      M3v_obs.Report.print Format.std_formatter sink
+
+let fig6 ?trace ~rounds () =
+  with_trace trace (fun () -> Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ()))
+
+let fig7 ?trace ~runs () =
+  with_trace trace (fun () -> Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ()))
+
+let fig8 ?trace ~runs () =
+  with_trace trace (fun () -> Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ()))
+
+let fig9 ?trace ~runs () =
+  with_trace trace (fun () -> Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ()))
+
+let fig10 ?trace ~runs () =
+  with_trace trace (fun () -> Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ()))
+
+let voice ?trace ~runs () =
+  with_trace trace (fun () -> Exp_voice.print (Exp_voice.run ?runs:(opt runs) ()))
+
+let table1 ?trace () =
+  with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))
+
 let complexity () = Exp_table1.print_complexity (Exp_table1.run_complexity ())
 
-let ablations () = List.iter Ablations.print (Ablations.run_all ())
+let ablations ?trace () =
+  with_trace trace (fun () -> List.iter Ablations.print (Ablations.run_all ()))
 
 let all () =
   table1 ();
   complexity ();
-  fig6 ~rounds:0;
-  fig7 ~runs:0;
-  fig8 ~runs:0;
-  fig9 ~runs:0;
-  voice ~runs:0;
-  fig10 ~runs:0;
+  fig6 ~rounds:0 ();
+  fig7 ~runs:0 ();
+  fig8 ~runs:0 ();
+  fig9 ~runs:0 ();
+  voice ~runs:0 ();
+  fig10 ~runs:0 ();
   ablations ()

@@ -1,19 +1,24 @@
 (** Entry points used by the CLI and the benchmark harness: run an
     experiment with paper-default parameters (pass [runs = 0] or
-    [rounds <= 0] for the default) and print the table/figure. *)
+    [rounds <= 0] for the default) and print the table/figure.
 
-val fig6 : rounds:int -> unit
-val fig7 : runs:int -> unit
-val fig8 : runs:int -> unit
-val fig9 : runs:int -> unit
-val fig10 : runs:int -> unit
-val voice : runs:int -> unit
-val table1 : unit -> unit
+    When [?trace] names a file, the experiment runs with a tracing sink
+    installed: on completion a Chrome trace-event JSON file is written
+    there and latency percentiles plus a per-tile event summary are
+    printed (see {!M3v_obs}). *)
+
+val fig6 : ?trace:string -> rounds:int -> unit -> unit
+val fig7 : ?trace:string -> runs:int -> unit -> unit
+val fig8 : ?trace:string -> runs:int -> unit -> unit
+val fig9 : ?trace:string -> runs:int -> unit -> unit
+val fig10 : ?trace:string -> runs:int -> unit -> unit
+val voice : ?trace:string -> runs:int -> unit -> unit
+val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit
 
 (** Ablation studies for the design decisions (extent cap, TLB size,
     topology, M3x endpoint state). *)
-val ablations : unit -> unit
+val ablations : ?trace:string -> unit -> unit
 
 (** Everything, in the paper's evaluation order. *)
 val all : unit -> unit

@@ -1,5 +1,6 @@
 module Engine = M3v_sim.Engine
 module Noc = M3v_noc.Noc
+module Trace = M3v_obs.Trace
 open Dtu_types
 
 type completion = (unit, Dtu_types.error) result -> unit
@@ -131,10 +132,39 @@ let check_vaddr t ~vaddr ~len ~write =
         | None ->
             t.stats <-
               { t.stats with translation_faults = t.stats.translation_faults + 1 };
+            if Trace.on () then
+              Trace.instant ~cat:"dtu" ~name:"tlb_fault" ~tile:t.tile ~act:t.cur
+                ~ts:(Engine.now t.engine)
+                ~args:[ ("vpage", Trace.I vpage) ]
+                ();
             Error (Translation_fault vpage))
 
 let complete_local t ~k result =
   Engine.after t.engine ~delay:cmd_process_ps (fun () -> k result)
+
+(* Wrap a command's completion so the whole lifetime — issue to completion
+   acknowledgement — shows up as one span, and its duration feeds the
+   per-command latency histogram.  Identity when tracing is off. *)
+let traced_completion t ~name ~k =
+  if not (Trace.on ()) then k
+  else begin
+    let ts = Engine.now t.engine in
+    let act = t.cur in
+    fun result ->
+      let dur = Engine.now t.engine - ts in
+      Trace.complete ~cat:"dtu" ~name ~tile:t.tile ~act ~ts ~dur
+        ~args:
+          [
+            ( "result",
+              Trace.S
+                (match result with
+                | Ok () -> "ok"
+                | Error e -> error_to_string e) );
+          ]
+        ();
+      Trace.latency_int ("dtu/" ^ name) dur;
+      k result
+  end
 
 (* --- delivery at the destination DTU --- *)
 
@@ -142,6 +172,11 @@ let push_core_req dst act =
   let was_empty = Queue.is_empty dst.core_reqs in
   Queue.add act dst.core_reqs;
   dst.stats <- { dst.stats with core_reqs = dst.stats.core_reqs + 1 };
+  if Trace.on () then
+    Trace.instant ~cat:"dtu" ~name:"core_req" ~tile:dst.tile ~act
+      ~ts:(Engine.now dst.engine)
+      ~args:[ ("depth", Trace.I (Queue.length dst.core_reqs)) ]
+      ();
   if was_empty then dst.core_req_irq ()
 
 (* [deliver dst msg ~dst_ep] stores [msg] in the receive buffer.  On a vDTU
@@ -208,6 +243,7 @@ let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
 
 let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
   t.stats <- { t.stats with sends = t.stats.sends + 1 };
+  let k = traced_completion t ~name:"send" ~k in
   match get_owned_ep t ep with
   | Error e -> complete_local t ~k (Error e)
   | Ok e -> (
@@ -240,17 +276,31 @@ let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
       | Ep.Invalid | Ep.Recv _ | Ep.Mem _ ->
           complete_local t ~k (Error Wrong_ep_type))
 
+(* Free the receive slot a fetched message occupied.  The endpoint must be
+   owned by the current activity (the vDTU hides foreign endpoints, paper
+   section 3.5), and a slot can only be freed once: a second ack of the
+   same message fails with [Recv_gone] instead of silently minting a send
+   credit. *)
 let free_slot t ~ep (msg : Msg.t) =
-  match get_ep t ep with
+  match get_owned_ep t ep with
   | Ok { Ep.cfg = Ep.Recv r; _ } ->
       ignore msg;
-      if r.Ep.occupied > 0 then r.Ep.occupied <- r.Ep.occupied - 1;
-      Ok ()
+      if r.Ep.occupied > 0 then begin
+        r.Ep.occupied <- r.Ep.occupied - 1;
+        Ok ()
+      end
+      else Error Recv_gone
   | Ok _ -> Error Wrong_ep_type
   | Error e -> Error e
 
 let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
   t.stats <- { t.stats with replies = t.stats.replies + 1 };
+  let k = traced_completion t ~name:"reply" ~k in
+  match get_owned_ep t recv_ep with
+  | Error e -> complete_local t ~k (Error e)
+  | Ok { Ep.cfg = Ep.Invalid | Ep.Send _ | Ep.Mem _; _ } ->
+      complete_local t ~k (Error Wrong_ep_type)
+  | Ok { Ep.cfg = Ep.Recv _; _ } -> (
   match to_msg.Msg.reply_to with
   | None -> complete_local t ~k (Error Recv_gone)
   | Some (dst_tile, dst_ep) -> (
@@ -258,15 +308,19 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
       | Error err -> complete_local t ~k (Error err)
       | Ok () ->
           (* REPLY implicitly acknowledges the request: the slot frees and
-             the sender's credit returns piggybacked on the reply. *)
-          (match free_slot t ~ep:recv_ep to_msg with
-          | Ok () -> ()
-          | Error _ -> ());
+             the sender's credit returns piggybacked on the reply.  If the
+             slot was already freed (the message was acked separately) no
+             credit may travel back a second time. *)
+          let freed =
+            match free_slot t ~ep:recv_ep to_msg with
+            | Ok () -> true
+            | Error _ -> false
+          in
           let msg =
             Msg.make ~src_tile:t.tile ~src_act:t.cur ~label:to_msg.Msg.label
               ~size:msg_size data
           in
-          let credit_ep = to_msg.Msg.src_send_ep in
+          let credit_ep = if freed then to_msg.Msg.src_send_ep else None in
           let bytes = msg_size + Msg.header_bytes in
           Noc.send t.noc ~src:t.tile ~dst:dst_tile ~bytes
             ~on_delivered:(fun () ->
@@ -289,7 +343,7 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
                   in
                   Noc.send t.noc ~src:dst_tile ~dst:t.tile
                     ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                      k result)))
+                      k result))))
 
 let fetch t ~ep =
   t.stats <- { t.stats with fetches = t.stats.fetches + 1 };
@@ -305,27 +359,34 @@ let fetch t ~ep =
                 let cell = unread_cell t e.Ep.owner in
                 if !cell > 0 then decr cell
               end;
+              if Trace.on () then
+                Trace.instant ~cat:"dtu" ~name:"fetch" ~tile:t.tile ~act:t.cur
+                  ~ts:(Engine.now t.engine)
+                  ~args:[ ("ep", Trace.I ep) ]
+                  ();
               Ok (Some msg))
       | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Wrong_ep_type)
 
 let ack t ~ep msg =
   t.stats <- { t.stats with acks = t.stats.acks + 1 };
-  match get_owned_ep t ep with
+  match free_slot t ~ep msg with
   | Error e -> Error e
-  | Ok _ -> (
-      match free_slot t ~ep msg with
-      | Error e -> Error e
-      | Ok () ->
-          (match msg.Msg.src_send_ep with
-          | Some sep ->
-              (* Return the credit to the sending DTU. *)
-              Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
-                ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                  match t.lookup_dtu msg.Msg.src_tile with
-                  | Some src_dtu -> restore_credit src_dtu ~ep:sep
-                  | None -> ())
-          | None -> ());
-          Ok ())
+  | Ok () ->
+      if Trace.on () then
+        Trace.instant ~cat:"dtu" ~name:"ack" ~tile:t.tile ~act:t.cur
+          ~ts:(Engine.now t.engine)
+          ~args:[ ("ep", Trace.I ep) ]
+          ();
+      (match msg.Msg.src_send_ep with
+      | Some sep ->
+          (* Return the credit to the sending DTU. *)
+          Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
+            ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+              match t.lookup_dtu msg.Msg.src_tile with
+              | Some src_dtu -> restore_credit src_dtu ~ep:sep
+              | None -> ())
+      | None -> ());
+      Ok ()
 
 let has_msgs t ~ep =
   match get_owned_ep t ep with
@@ -335,6 +396,9 @@ let has_msgs t ~ep =
 (* --- DMA --- *)
 
 let dma t ~ep ~off ~len ~vaddr ~write ~k ~action =
+  let k =
+    traced_completion t ~name:(if write then "dma_write" else "dma_read") ~k
+  in
   let record () =
     if write then
       t.stats <-

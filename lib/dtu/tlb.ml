@@ -1,14 +1,15 @@
 type key = Dtu_types.act_id * int
 type entry = { ppage : int; perm : Dtu_types.perm }
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = { hits : int; misses : int; perm_upgrades : int; evictions : int }
 
 type t = {
   capacity : int;
   entries : (key, entry) Hashtbl.t;
-  fifo : key Queue.t;
+  mutable fifo : key Queue.t;
   mutable hits : int;
   mutable misses : int;
+  mutable perm_upgrades : int;
   mutable evictions : int;
 }
 
@@ -20,6 +21,7 @@ let create ~capacity =
     fifo = Queue.create ();
     hits = 0;
     misses = 0;
+    perm_upgrades = 0;
     evictions = 0;
   }
 
@@ -30,7 +32,13 @@ let lookup t ~act ~vpage ~write =
   | Some e when (not write) || Dtu_types.perm_allows_write e.perm ->
       t.hits <- t.hits + 1;
       Some e.ppage
-  | Some _ | None ->
+  | Some _ ->
+      (* The mapping exists but lacks write permission: the command fails
+         like a miss, but TileMux only upgrades the entry instead of
+         translating from scratch — count it separately. *)
+      t.perm_upgrades <- t.perm_upgrades + 1;
+      None
+  | None ->
       t.misses <- t.misses + 1;
       None
 
@@ -57,18 +65,42 @@ let insert t ~act ~vpage ~ppage ~perm =
   end;
   Hashtbl.replace t.entries key { ppage; perm }
 
+(* Rebuild the eviction FIFO keeping only keys that still map to live
+   entries.  Without this, every invalidation leaves its key behind and the
+   FIFO grows without bound across activity switches in long runs (and a
+   re-inserted page would appear twice, skewing eviction order). *)
+let compact_fifo t =
+  let fresh = Queue.create () in
+  Queue.iter
+    (fun key -> if Hashtbl.mem t.entries key then Queue.add key fresh)
+    t.fifo;
+  t.fifo <- fresh
+
 let invalidate_act t act =
   let stale =
     Hashtbl.fold (fun (a, p) _ acc -> if a = act then (a, p) :: acc else acc)
       t.entries []
   in
-  List.iter (Hashtbl.remove t.entries) stale
+  List.iter (Hashtbl.remove t.entries) stale;
+  if stale <> [] then compact_fifo t
 
-let invalidate_page t ~act ~vpage = Hashtbl.remove t.entries (act, vpage)
+let invalidate_page t ~act ~vpage =
+  if Hashtbl.mem t.entries (act, vpage) then begin
+    Hashtbl.remove t.entries (act, vpage);
+    compact_fifo t
+  end
 
 let flush t =
   Hashtbl.reset t.entries;
   Queue.clear t.fifo
 
 let entry_count t = Hashtbl.length t.entries
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let fifo_length t = Queue.length t.fifo
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    perm_upgrades = t.perm_upgrades;
+    evictions = t.evictions;
+  }

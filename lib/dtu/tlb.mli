@@ -11,21 +11,37 @@ val create : capacity:int -> t
 val capacity : t -> int
 
 (** [lookup t ~act ~vpage ~write] returns the physical page if present with
-    sufficient permission. *)
+    sufficient permission.  A present entry with insufficient permission
+    fails the lookup but is counted as a permission upgrade, not a true
+    miss. *)
 val lookup : t -> act:Dtu_types.act_id -> vpage:int -> write:bool -> int option
 
 val insert :
   t -> act:Dtu_types.act_id -> vpage:int -> ppage:int -> perm:Dtu_types.perm -> unit
 
-(** Drop all entries of one activity (on activity exit). *)
+(** Drop all entries of one activity (on activity exit).  Also purges the
+    entries' keys from the eviction FIFO so it stays bounded by the
+    capacity across activity switches. *)
 val invalidate_act : t -> Dtu_types.act_id -> unit
 
-(** Drop a single page mapping (on unmap/remap). *)
+(** Drop a single page mapping (on unmap/remap); purges the key from the
+    eviction FIFO. *)
 val invalidate_page : t -> act:Dtu_types.act_id -> vpage:int -> unit
 
 val flush : t -> unit
 val entry_count : t -> int
 
-type stats = { hits : int; misses : int; evictions : int }
+(** Length of the internal eviction FIFO; invariantly at most
+    [entry_count], hence bounded by [capacity]. *)
+val fifo_length : t -> int
+
+type stats = {
+  hits : int;
+  misses : int;  (** true misses: no entry for (activity, page) *)
+  perm_upgrades : int;
+      (** failed lookups where the entry existed but lacked the required
+          (write) permission *)
+  evictions : int;
+}
 
 val stats : t -> stats

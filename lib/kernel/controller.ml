@@ -7,6 +7,7 @@ module Ep = M3v_dtu.Ep
 module Msg = M3v_dtu.Msg
 module Platform = M3v_tile.Platform
 module Core_model = M3v_tile.Core_model
+module Trace = M3v_obs.Trace
 open Dtu_types
 
 type mode = M3v | M3x
@@ -666,14 +667,51 @@ let handle_mx t (msg : Msg.t) ~k =
 
 (* --- dispatcher --- *)
 
+let req_name (data : Msg.data) =
+  match data with
+  | Protocol.Sys req -> (
+      match req with
+      | Protocol.Noop -> "sys/noop"
+      | Protocol.Alloc_mem _ -> "sys/alloc_mem"
+      | Protocol.Create_rgate _ -> "sys/create_rgate"
+      | Protocol.Create_sgate_for _ -> "sys/create_sgate_for"
+      | Protocol.Derive_mem_for _ -> "sys/derive_mem_for"
+      | Protocol.Activate _ -> "sys/activate"
+      | Protocol.Revoke _ -> "sys/revoke"
+      | Protocol.Map_for _ -> "sys/map_for"
+      | Protocol.Act_exit _ -> "sys/act_exit")
+  | Protocol.Tm_map_done _ -> "tm_map_done"
+  | Protocol.Mx_fwd _ -> "mx_fwd"
+  | Protocol.Mx_block -> "mx_block"
+  | Protocol.Mx_yield -> "mx_yield"
+  | Protocol.Mx_wake -> "mx_wake"
+  | _ -> "unknown"
+
 let rec dispatch t =
   if not t.busy then
     match Dtu.fetch t.dtu ~ep:syscall_ep with
     | Ok (Some msg) ->
         t.busy <- true;
-        let k () =
-          t.busy <- false;
-          dispatch t
+        let k =
+          let k () =
+            t.busy <- false;
+            dispatch t
+          in
+          if not (Trace.on ()) then k
+          else begin
+            (* Span covers the whole controller-side handling, including
+               the charged processing time and any nested forwarding. *)
+            let ts = Engine.now t.engine in
+            let name = req_name msg.Msg.data in
+            fun () ->
+              let dur = Time.sub (Engine.now t.engine) ts in
+              Trace.complete ~cat:"kernel" ~name ~tile:t.tile
+                ~act:msg.Msg.src_act ~ts ~dur
+                ~args:[ ("src_tile", Trace.I msg.Msg.src_tile) ]
+                ();
+              Trace.latency_int "kernel/syscall" dur;
+              k ()
+          end
         in
         charge t syscall_cycles (fun () ->
             match msg.Msg.data with

@@ -10,6 +10,7 @@ module Core_model = M3v_tile.Core_model
 module Platform = M3v_tile.Platform
 module Controller = M3v_kernel.Controller
 module Proto = M3v_kernel.Protocol
+module Trace = M3v_obs.Trace
 open Dtu_types
 open Act_ops
 
@@ -69,6 +70,7 @@ type t = {
   mutable next_ppage : int;
   counters : Stats.Counter.t;
   mutable mux_busy_ps : int;
+  mutable run_since : Time.t;  (** when the current activity got the core *)
 }
 
 let mode t = t.rmode
@@ -111,6 +113,24 @@ let charge_mux t cycles k =
     Engine.after t.engine ~delay:d k
   end
 
+(* Tracing hooks: an activity's occupancy of the core is reported as one
+   "run" span from dispatch to the point it yields/blocks/faults/exits. *)
+let note_run_start t = if Trace.on () then t.run_since <- Engine.now t.engine
+
+let note_run_end t (a : arec) ~why =
+  if Trace.on () then begin
+    let ts = t.run_since in
+    let dur = Time.sub (Engine.now t.engine) ts in
+    Trace.complete ~cat:"mux" ~name:"run" ~tile:t.rtile ~act:a.aid ~ts ~dur
+      ~args:[ ("act", Trace.S a.aname); ("why", Trace.S why) ] ();
+    Trace.latency_int "mux/run_span" dur
+  end
+
+let mux_instant t name =
+  if Trace.on () then
+    Trace.instant ~cat:"mux" ~name ~tile:t.rtile
+      ~ts:(Engine.now t.engine) ()
+
 let note_stall_start (a : arec) ~now = a.stall_since <- now
 
 let note_stall_end t (a : arec) ~now =
@@ -152,6 +172,7 @@ and do_dispatch t =
             a.st <- Running;
             t.current <- Some aid;
             Stats.Counter.incr t.counters "ctx_switch";
+            mux_instant t "ctx_switch";
             (* Schedule + register/address-space switch + the vDTU's atomic
                activity-switch command (2 MMIO accesses). *)
             charge_mux t
@@ -167,6 +188,7 @@ and do_dispatch t =
                    | Some oa when oa.st = Blocked_recv -> make_ready t oa
                    | Some _ | None -> ());
                 a.slice_left <- t.timeslice;
+                note_run_start t;
                 resume_act t a)
         | Running | Stalled | Blocked_recv | Blocked_fault | Polling | Dead ->
             (* Stale queue entry; try the next one. *)
@@ -263,6 +285,7 @@ and tm_rpc_now t data ~size ~on_reply =
   | None -> failwith "Runtime: page fault but no pager channel configured"
   | Some sgate ->
       Stats.Counter.incr t.counters "tm_rpc";
+      mux_instant t "tm_rpc";
       t.tm_cont <- Some on_reply;
       charge_mux t
         ((2 * t.core.Core_model.mmio_cycles) + Core_model.cmd_overhead_cycles t.core)
@@ -291,6 +314,11 @@ and tm_pump t =
 and pagefault t (a : arec) ~vpage ~write ~k =
   Addrspace.note_fault a.addr;
   Stats.Counter.incr t.counters "fault";
+  if Trace.on () then
+    Trace.instant ~cat:"mux" ~name:"fault" ~tile:t.rtile ~act:a.aid
+      ~ts:(Engine.now t.engine)
+      ~args:[ ("vpage", Trace.I vpage); ("write", Trace.S (string_of_bool write)) ]
+      ();
   if a.premap then begin
     (* Eagerly-mapped activities never reach the pager: TileMux installs a
        fresh frame directly (boot-time mapping shortcut). *)
@@ -307,7 +335,10 @@ and pagefault t (a : arec) ~vpage ~write ~k =
         a.st <- Blocked_fault;
         a.resume <- Some k;
         let was_current = t.current = Some a.aid in
-        if was_current then t.current <- None;
+        if was_current then begin
+          note_run_end t a ~why:"fault";
+          t.current <- None
+        end;
         tm_rpc t
           (Pf_fault { pf_act = a.aid; pf_vpage = vpage; pf_write = write })
           ~size:24
@@ -394,6 +425,7 @@ and act_finished t (a : arec) =
       a.st <- Dead;
       Dtu.tlb_invalidate_act t.dtu a.aid;
       if t.current = Some a.aid then begin
+        note_run_end t a ~why:"exit";
         t.current <- None;
         if t.rmode = M3v_mode then schedule_dispatch t
       end)
@@ -479,6 +511,7 @@ and interp_yield t (a : arec) k =
             a.st <- Ready;
             a.resume <- Some (fun () -> k Proc.Unit);
             Queue.add a.aid t.runq;
+            note_run_end t a ~why:"yield";
             t.current <- None;
             schedule_dispatch t)
       else charge_act t a t.core.Core_model.trap_cycles (fun () -> k Proc.Unit)
@@ -504,11 +537,13 @@ and compute_chunks t (a : arec) cycles k =
             if t.rmode = M3v_mode && others_ready t then begin
               (* Timer preemption: round-robin to the next activity. *)
               Stats.Counter.incr t.counters "preempt";
+              mux_instant t "preempt";
               charge_mux t t.core.Core_model.trap_cycles (fun () ->
                   a.st <- Ready;
                   a.resume <-
                     Some (fun () -> compute_chunks t a rest k);
                   Queue.add a.aid t.runq;
+                  note_run_end t a ~why:"preempt";
                   t.current <- None;
                   schedule_dispatch t)
             end
@@ -550,6 +585,8 @@ and recv_loop t (a : arec) eps k =
                     a.st <- Blocked_recv;
                     a.wait_eps <- eps;
                     a.resume <- Some (fun () -> recv_loop t a eps k);
+                    mux_instant t "block";
+                    note_run_end t a ~why:"block";
                     t.current <- None;
                     schedule_dispatch t)
               else begin
@@ -660,6 +697,7 @@ let on_msg_arrived t owner =
   | Some a ->
       if t.current = Some owner && a.st = Polling then begin
         Stats.Counter.incr t.counters "poll_wake";
+        mux_instant t "wake";
         a.st <- Running;
         (* Detecting the message costs a couple of MMIO reads. *)
         charge_act t a (2 * t.core.Core_model.mmio_cycles) (fun () ->
@@ -685,6 +723,7 @@ let on_core_req_irq t =
           handle_core_reqs t ~k:(fun () ->
               if others_ready t && a.st = Polling then begin
                 a.st <- Blocked_recv;
+                note_run_end t a ~why:"irq";
                 t.current <- None;
                 schedule_dispatch t
               end)
@@ -715,6 +754,9 @@ let install_mx_stub t =
       Controller.mx_save =
         (fun ~k ->
           charge_mux t (t.core.Core_model.ctx_switch_cycles / 2) (fun () ->
+              (match t.current with
+              | Some aid -> note_run_end t (find t aid) ~why:"mx_save"
+              | None -> ());
               t.current <- None;
               k ()));
       Controller.mx_restore =
@@ -727,8 +769,10 @@ let install_mx_stub t =
                 k ())
           else begin
             Stats.Counter.incr t.counters "ctx_switch";
+            mux_instant t "ctx_switch";
             charge_mux t (t.core.Core_model.ctx_switch_cycles / 2) (fun () ->
                 t.current <- Some aid;
+                note_run_start t;
                 mx_resume_act t a;
                 k ())
           end);
@@ -776,6 +820,7 @@ let create ~mode ~controller ~tile ?(timeslice = Time.ms 1) () =
       next_ppage = 0x1000;
       counters = Stats.Counter.create ();
       mux_busy_ps = 0;
+      run_since = Time.zero;
     }
   in
   Dtu.set_msg_arrived dtu (fun owner -> on_msg_arrived t owner);

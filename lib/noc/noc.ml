@@ -1,5 +1,6 @@
 module Engine = M3v_sim.Engine
 module Time = M3v_sim.Time
+module Trace = M3v_obs.Trace
 
 type params = {
   flit_bytes : int;
@@ -65,6 +66,14 @@ let transfer_time t ~record ~start route flits =
   (* The tail flit lands one serialization window after the head. *)
   Time.add !arrival serialization
 
+let uncontended_latency t ~src ~dst ~bytes =
+  let flits = flits_of_bytes t bytes in
+  if src = dst then loopback_latency t
+  else
+    let route = Topology.route t.topo ~src ~dst in
+    let hops = List.length route in
+    (hops * t.params.hop_latency_ps) + (flits * t.params.ps_per_flit)
+
 let send t ~src ~dst ~bytes ~on_delivered =
   let now = Engine.now t.engine in
   let flits = flits_of_bytes t bytes in
@@ -81,15 +90,24 @@ let send t ~src ~dst ~bytes ~on_delivered =
       payload_bytes = t.stats.payload_bytes + bytes;
       total_flits = t.stats.total_flits + flits;
     };
+  if Trace.on () then begin
+    let dur = Time.sub arrival now in
+    (* Queueing delay: how much longer than an uncontended transfer this
+       packet took waiting for busy links along its route. *)
+    let queue_ps = max 0 (dur - uncontended_latency t ~src ~dst ~bytes) in
+    Trace.complete ~cat:"noc" ~name:"pkt" ~tile:src ~ts:now ~dur
+      ~args:
+        [
+          ("src", Trace.I src);
+          ("dst", Trace.I dst);
+          ("bytes", Trace.I bytes);
+          ("queue_ps", Trace.I queue_ps);
+        ]
+      ();
+    Trace.latency_int "noc/packet" dur;
+    Trace.latency_int "noc/queueing" queue_ps
+  end;
   Engine.at t.engine ~time:arrival on_delivered
-
-let uncontended_latency t ~src ~dst ~bytes =
-  let flits = flits_of_bytes t bytes in
-  if src = dst then loopback_latency t
-  else
-    let route = Topology.route t.topo ~src ~dst in
-    let hops = List.length route in
-    (hops * t.params.hop_latency_ps) + (flits * t.params.ps_per_flit)
 
 let stats t = t.stats
 let reset_stats t = t.stats <- empty_stats

@@ -1,0 +1,80 @@
+(* Chrome trace-event JSON (the "trace event format" consumed by
+   chrome://tracing and Perfetto).  Timestamps are microseconds; we emit
+   fractional microseconds from picosecond simulated time.  Tiles map to
+   pids and activities to tids so the viewer groups tracks per tile. *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_value b = function
+  | Trace.I i -> Buffer.add_string b (string_of_int i)
+  | Trace.F f -> Buffer.add_string b (Printf.sprintf "%g" f)
+  | Trace.S s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+
+let us_of_ps ps = float_of_int ps /. 1e6
+
+let add_event b (ev : Trace.event) =
+  Buffer.add_string b "{\"name\":\"";
+  escape b ev.Trace.ev_name;
+  Buffer.add_string b "\",\"cat\":\"";
+  escape b ev.Trace.ev_cat;
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_string b
+    (match ev.Trace.ev_ph with
+    | Trace.Complete -> "X"
+    | Trace.Instant -> "i"
+    | Trace.Counter -> "C");
+  Buffer.add_string b "\",\"ts\":";
+  Buffer.add_string b (Printf.sprintf "%.6f" (us_of_ps ev.Trace.ev_ts));
+  (match ev.Trace.ev_ph with
+  | Trace.Complete ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"dur\":%.6f" (us_of_ps ev.Trace.ev_dur))
+  | Trace.Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Trace.Counter -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d" (max 0 ev.Trace.ev_tile));
+  Buffer.add_string b (Printf.sprintf ",\"tid\":%d" (max 0 ev.Trace.ev_act));
+  (match ev.Trace.ev_args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          add_value b v)
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_buffer sink =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_event b ev)
+    (Trace.events sink);
+  Buffer.add_string b "]}\n";
+  b
+
+let write oc sink = Buffer.output_buffer oc (to_buffer sink)
+
+let write_file path sink =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc sink)

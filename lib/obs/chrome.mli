@@ -1,0 +1,9 @@
+(** Chrome trace-event JSON export ([chrome://tracing] / Perfetto).
+
+    Spans become ["ph":"X"] complete events, instants ["ph":"i"], counters
+    ["ph":"C"]; tiles map to pids and activities to tids; timestamps are
+    emitted in (fractional) microseconds. *)
+
+val to_buffer : Trace.sink -> Buffer.t
+val write : out_channel -> Trace.sink -> unit
+val write_file : string -> Trace.sink -> unit

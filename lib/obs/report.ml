@@ -1,0 +1,49 @@
+module Stats = M3v_sim.Stats
+module H = Stats.Histogram
+
+(* Human-readable summaries of a trace sink: latency percentiles per
+   histogram and a per-tile/per-category breakdown of where simulated time
+   went. *)
+
+let us ps = ps /. 1e6
+
+let print_histograms fmt sink =
+  match Trace.histograms sink with
+  | [] -> ()
+  | hists ->
+      Format.fprintf fmt "@.-- latency histograms (us) --@.";
+      Format.fprintf fmt "  %-24s %10s %10s %10s %10s %10s %10s@." "histogram"
+        "n" "mean" "p50" "p90" "p99" "max";
+      List.iter
+        (fun (name, h) ->
+          if H.count h > 0 then
+            Format.fprintf fmt
+              "  %-24s %10d %10.3f %10.3f %10.3f %10.3f %10.3f@." name
+              (H.count h) (us (H.mean h))
+              (us (H.percentile h 50.0))
+              (us (H.percentile h 90.0))
+              (us (H.percentile h 99.0))
+              (us (H.max_value h)))
+        hists
+
+let print_tallies fmt sink =
+  match Trace.tallies sink with
+  | [] -> ()
+  | tallies ->
+      Format.fprintf fmt "@.-- per-tile event summary --@.";
+      Format.fprintf fmt "  %-40s %10s %14s@." "tile/category/event" "count"
+        "total us";
+      List.iter
+        (fun (key, n, dur_ps) ->
+          Format.fprintf fmt "  %-40s %10d %14.3f@." key n
+            (us (float_of_int dur_ps)))
+        tallies
+
+let print fmt sink =
+  Format.fprintf fmt "@.======== trace summary ========@.";
+  Format.fprintf fmt "  events recorded: %d%s@." (Trace.event_count sink)
+    (let d = Trace.dropped sink in
+     if d > 0 then Printf.sprintf " (%d dropped past the event cap)" d else "");
+  print_histograms fmt sink;
+  print_tallies fmt sink;
+  Format.fprintf fmt "@."

@@ -1,0 +1,167 @@
+module Stats = M3v_sim.Stats
+
+type value = I of int | F of float | S of string
+
+type phase = Complete | Instant | Counter
+
+type event = {
+  ev_cat : string;
+  ev_name : string;
+  ev_ph : phase;
+  ev_ts : int; (* simulated time, ps *)
+  ev_dur : int; (* Complete events only, ps *)
+  ev_tile : int; (* -1: not tile-attributed *)
+  ev_act : int; (* -1: not activity-attributed *)
+  ev_args : (string * value) list;
+}
+
+type sink = {
+  mutable events : event list; (* newest first *)
+  mutable n_events : int;
+  max_events : int;
+  mutable dropped : int;
+  hists : (string, Stats.Histogram.t) Hashtbl.t;
+  tallies : (string, int ref * int ref) Hashtbl.t;
+      (* "tile<i>/<cat>/<name>" -> (count, summed duration ps) *)
+}
+
+let make ?(max_events = 500_000) () =
+  {
+    events = [];
+    n_events = 0;
+    max_events;
+    dropped = 0;
+    hists = Hashtbl.create 16;
+    tallies = Hashtbl.create 64;
+  }
+
+(* The sink is process-global so tracepoints need no plumbing through every
+   constructor.  [enabled] mirrors the option to keep the disabled check a
+   single load; every tracepoint below returns immediately (allocating
+   nothing) when no sink is installed. *)
+let current : sink option ref = ref None
+let enabled = ref false
+
+let on () = !enabled
+
+let install s =
+  current := Some s;
+  enabled := true
+
+let uninstall () =
+  current := None;
+  enabled := false
+
+let with_sink s f =
+  install s;
+  Fun.protect ~finally:uninstall f
+
+let events s = List.rev s.events
+let event_count s = s.n_events
+let dropped s = s.dropped
+
+let histogram s name =
+  match Hashtbl.find_opt s.hists name with
+  | Some h -> h
+  | None ->
+      let h = Stats.Histogram.create () in
+      Hashtbl.add s.hists name h;
+      h
+
+let histograms s =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) s.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let tallies s =
+  Hashtbl.fold (fun k (n, d) acc -> (k, !n, !d) :: acc) s.tallies []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let tally s ~tile ~cat ~name ~dur =
+  let key =
+    if tile < 0 then Printf.sprintf "-/%s/%s" cat name
+    else Printf.sprintf "tile%d/%s/%s" tile cat name
+  in
+  let n, d =
+    match Hashtbl.find_opt s.tallies key with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.add s.tallies key cell;
+        cell
+  in
+  incr n;
+  d := !d + dur
+
+let push s ev =
+  tally s ~tile:ev.ev_tile ~cat:ev.ev_cat ~name:ev.ev_name ~dur:ev.ev_dur;
+  if s.n_events >= s.max_events then s.dropped <- s.dropped + 1
+  else begin
+    s.events <- ev :: s.events;
+    s.n_events <- s.n_events + 1
+  end
+
+let complete ~cat ~name ?(tile = -1) ?(act = -1) ~ts ~dur ?(args = []) () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      push s
+        {
+          ev_cat = cat;
+          ev_name = name;
+          ev_ph = Complete;
+          ev_ts = ts;
+          ev_dur = dur;
+          ev_tile = tile;
+          ev_act = act;
+          ev_args = args;
+        }
+
+let instant ~cat ~name ?(tile = -1) ?(act = -1) ~ts ?(args = []) () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      push s
+        {
+          ev_cat = cat;
+          ev_name = name;
+          ev_ph = Instant;
+          ev_ts = ts;
+          ev_dur = 0;
+          ev_tile = tile;
+          ev_act = act;
+          ev_args = args;
+        }
+
+let counter ~cat ~name ?(tile = -1) ~ts ~value () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      push s
+        {
+          ev_cat = cat;
+          ev_name = name;
+          ev_ph = Counter;
+          ev_ts = ts;
+          ev_dur = 0;
+          ev_tile = tile;
+          ev_act = -1;
+          ev_args = [ (name, F value) ];
+        }
+
+let latency name v =
+  match !current with
+  | None -> ()
+  | Some s -> Stats.Histogram.add (histogram s name) v
+
+let latency_int name v = latency name (float_of_int v)
+
+(* Sample the engine's dispatch loop into "engine" counter tracks.  Wired
+   by the system constructor when a sink is installed, so the engine itself
+   stays free of an obs dependency. *)
+let attach_engine engine =
+  if on () then
+    M3v_sim.Engine.set_observer engine
+      (Some
+         (fun now pending ->
+           counter ~cat:"engine" ~name:"pending_events" ~ts:now
+             ~value:(float_of_int pending) ()))

@@ -1,0 +1,106 @@
+(** Unified tracing and metrics.
+
+    Tracepoints throughout the stack (engine dispatch, NoC packets, DTU
+    command lifecycles, TileMux scheduling, controller syscalls) report
+    into one process-global {!sink}.  The sink records events in simulated
+    time, keyed by tile ("pid") and activity ("tid"), and accumulates
+    latency histograms plus per-tile/per-category tallies.
+
+    When no sink is installed every tracepoint is a cheap no-op: the
+    disabled check is a single boolean/option load and nothing is
+    allocated, so instrumented hot paths cost nothing in ordinary runs
+    (benchmark figures are bit-identical with tracing off).  Call sites on
+    hot paths additionally guard argument construction with {!on}.
+
+    Export formats: Chrome trace-event JSON via {!Chrome}, human-readable
+    latency/summary tables via {!Report}. *)
+
+type value = I of int | F of float | S of string
+
+type phase =
+  | Complete  (** a span: [ts .. ts+dur] *)
+  | Instant
+  | Counter
+
+type event = {
+  ev_cat : string;
+  ev_name : string;
+  ev_ph : phase;
+  ev_ts : int;  (** simulated time, ps *)
+  ev_dur : int;  (** span duration, ps; 0 otherwise *)
+  ev_tile : int;  (** -1 when not tile-attributed *)
+  ev_act : int;  (** -1 when not activity-attributed *)
+  ev_args : (string * value) list;
+}
+
+type sink
+
+(** [make ()] creates a sink.  At most [max_events] events are retained
+    (later ones are counted in {!dropped}); histograms and tallies keep
+    accumulating regardless. *)
+val make : ?max_events:int -> unit -> sink
+
+(** Install [s] as the global sink; tracepoints are live from here on. *)
+val install : sink -> unit
+
+val uninstall : unit -> unit
+
+(** [with_sink s f] runs [f] with [s] installed, uninstalling on return or
+    exception. *)
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+(** Whether a sink is installed.  Hot call sites check this before
+    computing tracepoint arguments. *)
+val on : unit -> bool
+
+(** {1 Tracepoints} — all are no-ops when no sink is installed. *)
+
+(** A completed span: work of [dur] ps that began at [ts]. *)
+val complete :
+  cat:string ->
+  name:string ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  dur:int ->
+  ?args:(string * value) list ->
+  unit ->
+  unit
+
+val instant :
+  cat:string ->
+  name:string ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  ?args:(string * value) list ->
+  unit ->
+  unit
+
+val counter :
+  cat:string -> name:string -> ?tile:int -> ts:int -> value:float -> unit -> unit
+
+(** Record a sample into the named latency histogram (ps). *)
+val latency : string -> float -> unit
+
+val latency_int : string -> int -> unit
+
+(** Sample the engine's dispatch loop (queue depth every 1024 events) into
+    the trace.  No-op when tracing is off. *)
+val attach_engine : M3v_sim.Engine.t -> unit
+
+(** {1 Reading a sink} *)
+
+val events : sink -> event list
+
+(** Events recorded (excluding dropped ones). *)
+val event_count : sink -> int
+
+(** Events discarded after the sink's [max_events] cap was reached. *)
+val dropped : sink -> int
+
+val histogram : sink -> string -> M3v_sim.Stats.Histogram.t
+val histograms : sink -> (string * M3v_sim.Stats.Histogram.t) list
+
+(** [(key, count, total_dur_ps)] per ["tile<i>/<cat>/<name>"], sorted. *)
+val tallies : sink -> (string * int * int) list

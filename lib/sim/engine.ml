@@ -2,10 +2,18 @@ type t = {
   mutable now : Time.t;
   queue : (unit -> unit) Event_queue.t;
   mutable processed : int;
+  mutable observer : (Time.t -> int -> unit) option;
 }
 
-let create () = { now = Time.zero; queue = Event_queue.create (); processed = 0 }
+(* How often the dispatch-loop observer fires, in processed events.  A
+   power of two so the check in the hot loop is a single mask. *)
+let observer_interval = 1024
+
+let create () =
+  { now = Time.zero; queue = Event_queue.create (); processed = 0; observer = None }
+
 let now t = t.now
+let set_observer t obs = t.observer <- obs
 
 let at t ~time f =
   if time < t.now then
@@ -36,6 +44,10 @@ let run ?until ?max_events t =
               f ();
               incr count;
               t.processed <- t.processed + 1;
+              (match t.observer with
+              | Some obs when t.processed land (observer_interval - 1) = 0 ->
+                  obs t.now (Event_queue.length t.queue)
+              | Some _ | None -> ());
               loop ()
           | None -> ())
       | Some _ | None -> (

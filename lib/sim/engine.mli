@@ -31,3 +31,9 @@ val pending : t -> int
 
 (** Reset the clock to zero and drop pending events. *)
 val reset : t -> unit
+
+(** [set_observer t (Some f)] installs a dispatch-loop observer: [f now
+    pending] is invoked every 1024 processed events.  The tracing layer uses
+    it to sample queue depth without touching the hot loop when disabled
+    ([None], the default). *)
+val set_observer : t -> (Time.t -> int -> unit) option -> unit

@@ -53,6 +53,115 @@ let pp_summary fmt s =
   Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
     s.mean s.stddev s.min s.median s.max
 
+module Histogram = struct
+  (* Log-linear bucketing (HDR style): values are grouped by the position
+     of their most significant bit, with [sub_bits] linear sub-buckets per
+     power of two.  Quantiles are therefore approximate (relative error
+     bounded by 2^-sub_bits) while memory stays constant, which keeps
+     recording cheap enough to run inside the tracing hot path. *)
+  let sub_bits = 6
+  let sub_count = 1 lsl sub_bits
+  let max_exponent = 52
+  let bucket_count = (max_exponent + 1) * sub_count
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    {
+      buckets = Array.make bucket_count 0;
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+    }
+
+  let msb_index v =
+    let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+    go v 0
+
+  let bucket_index v =
+    let v = max 0 v in
+    if v < sub_count then v
+    else
+      let exp = msb_index v in
+      let sub = (v lsr (exp - sub_bits)) land (sub_count - 1) in
+      ((exp - sub_bits + 1) * sub_count) + sub
+
+  (* Representative value of a bucket: its lower bound. *)
+  let bucket_value idx =
+    if idx < sub_count then idx
+    else
+      let exp = (idx / sub_count) + sub_bits - 1 in
+      let sub = idx mod sub_count in
+      (1 lsl exp) lor (sub lsl (exp - sub_bits))
+
+  let add t v =
+    let i = bucket_index (int_of_float (Float.max 0.0 v)) in
+    let i = if i >= bucket_count then bucket_count - 1 else i in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let add_int t v = add t (float_of_int v)
+  let count t = t.count
+  let total t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min_value t = if t.count = 0 then 0.0 else t.min_v
+  let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+  let quantile t q =
+    if t.count = 0 then 0.0
+    else if q <= 0.0 then min_value t
+    else if q >= 1.0 then max_value t
+    else begin
+      let target = int_of_float (ceil (q *. float_of_int t.count)) in
+      let target = if target < 1 then 1 else target in
+      let seen = ref 0 in
+      let result = ref t.max_v in
+      (try
+         for i = 0 to bucket_count - 1 do
+           seen := !seen + t.buckets.(i);
+           if !seen >= target then begin
+             result := float_of_int (bucket_value i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* Clamp into the observed range: bucket bounds are coarser than the
+         true extremes. *)
+      Float.min (Float.max !result t.min_v) t.max_v
+    end
+
+  let percentile t p = quantile t (p /. 100.0)
+
+  let merge ~into src =
+    Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+
+  let reset t =
+    Array.fill t.buckets 0 bucket_count 0;
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.min_v <- infinity;
+    t.max_v <- neg_infinity
+
+  let pp fmt t =
+    Format.fprintf fmt "n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f"
+      t.count (mean t) (percentile t 50.0) (percentile t 90.0)
+      (percentile t 99.0) (max_value t)
+end
+
 module Counter = struct
   type t = (string, float ref) Hashtbl.t
 

@@ -324,6 +324,96 @@ let test_tlb_perms_and_act_tags () =
 
 (* --- Dram --- *)
 
+(* A vDTU activity must not be able to reply through, or ack-free, a
+   receive endpoint owned by another activity (the Unknown_ep rule of
+   paper section 3.5 applies to the implicit-ack paths too). *)
+let test_foreign_reply_and_ack_rejected () =
+  let f = make_fabric () in
+  setup_channel f;
+  Dtu.ext_config f.d0 ~ep:2 ~owner:0 (Ep.recv_config ~slots:2 ~slot_size:256 ());
+  (match send_ok f ~reply_ep:2 ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send");
+  let msg =
+    match Dtu.fetch f.d1 ~ep:1 with Ok (Some m) -> m | _ -> Alcotest.fail "fetch"
+  in
+  (* Another activity takes over the receiver's core: the fetched message
+     cannot be replied to or acked through the now-foreign endpoint. *)
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  let r = ref None in
+  Dtu.reply f.d1 ~recv_ep:1 ~to_msg:msg ~msg_size:4 (Ping 2) ~k:(fun x ->
+      r := Some x);
+  ignore (Engine.run f.eng);
+  (match !r with
+  | Some (Error Dtu_types.Unknown_ep) -> ()
+  | _ -> Alcotest.fail "foreign reply must fail with Unknown_ep");
+  (match Dtu.ack f.d1 ~ep:1 msg with
+  | Error Dtu_types.Unknown_ep -> ()
+  | _ -> Alcotest.fail "foreign ack must fail with Unknown_ep");
+  (* The slot was left intact: back on the owner, the ack succeeds. *)
+  ignore (Dtu.switch_act f.d1 ~next:7);
+  match Dtu.ack f.d1 ~ep:1 msg with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "owner ack: %s" (Dtu_types.error_to_string e)
+
+(* Acknowledging the same message twice must fail (Recv_gone) and must not
+   mint an extra credit for the sender. *)
+let test_double_ack_no_extra_credit () =
+  let f = make_fabric () in
+  setup_channel ~credits:2 f;
+  (match send_ok f ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send");
+  let msg =
+    match Dtu.fetch f.d1 ~ep:1 with Ok (Some m) -> m | _ -> Alcotest.fail "fetch"
+  in
+  (match Dtu.ack f.d1 ~ep:1 msg with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first ack");
+  ignore (Engine.run f.eng);
+  (match Dtu.ack f.d1 ~ep:1 msg with
+  | Error Dtu_types.Recv_gone -> ()
+  | _ -> Alcotest.fail "double ack must fail with Recv_gone");
+  ignore (Engine.run f.eng);
+  match (Dtu.ext_read_ep f.d0 ~ep:1).Ep.cfg with
+  | Ep.Send s ->
+      check_int "credits restored exactly once" 2 s.Ep.credits;
+      check_bool "never above max" true (s.Ep.credits <= s.Ep.max_credits)
+  | _ -> Alcotest.fail "sender ep vanished"
+
+(* Invalidations must purge the eviction FIFO: across repeated
+   insert/invalidate cycles its length stays bounded by the capacity
+   instead of accumulating stale keys. *)
+let test_tlb_fifo_stays_bounded () =
+  let tlb = Tlb.create ~capacity:4 in
+  for round = 0 to 9 do
+    for v = 0 to 3 do
+      Tlb.insert tlb ~act:1 ~vpage:((round * 4) + v) ~ppage:v ~perm:Dtu_types.RW
+    done;
+    Tlb.invalidate_act tlb 1
+  done;
+  check_int "fifo empty after invalidate_act" 0 (Tlb.fifo_length tlb);
+  for v = 0 to 99 do
+    Tlb.insert tlb ~act:2 ~vpage:v ~ppage:v ~perm:Dtu_types.R;
+    if v mod 2 = 0 then Tlb.invalidate_page tlb ~act:2 ~vpage:v
+  done;
+  check_bool "fifo bounded by capacity" true
+    (Tlb.fifo_length tlb <= Tlb.capacity tlb);
+  check_int "fifo matches live entries" (Tlb.entry_count tlb)
+    (Tlb.fifo_length tlb)
+
+(* Permission-upgrade lookups are counted separately from true misses. *)
+let test_tlb_perm_upgrade_counted () =
+  let tlb = Tlb.create ~capacity:4 in
+  Tlb.insert tlb ~act:1 ~vpage:1 ~ppage:10 ~perm:Dtu_types.R;
+  check_bool "write on R entry fails" true
+    (Tlb.lookup tlb ~act:1 ~vpage:1 ~write:true = None);
+  check_bool "absent page misses" true
+    (Tlb.lookup tlb ~act:1 ~vpage:2 ~write:false = None);
+  let st = Tlb.stats tlb in
+  check_int "one perm upgrade" 1 st.Tlb.perm_upgrades;
+  check_int "one true miss" 1 st.Tlb.misses
+
 let test_dram_contention () =
   let dram = Dram.create ~size:4096 () in
   let t1 = Dram.access_time dram ~now:0 ~bytes:1024 in
@@ -350,5 +440,9 @@ let suite =
     ("ext inject", `Quick, test_ext_inject);
     ("tlb eviction", `Quick, test_tlb_eviction);
     ("tlb perms and tags", `Quick, test_tlb_perms_and_act_tags);
+    ("foreign reply/ack rejected", `Quick, test_foreign_reply_and_ack_rejected);
+    ("double ack mints no credit", `Quick, test_double_ack_no_extra_credit);
+    ("tlb fifo stays bounded", `Quick, test_tlb_fifo_stays_bounded);
+    ("tlb perm upgrades counted", `Quick, test_tlb_perm_upgrade_counted);
     ("dram contention", `Quick, test_dram_contention);
   ]

@@ -179,6 +179,68 @@ let test_net_rx_queue_buffers_early_packets () =
   ignore (System.run sys);
   Alcotest.(check string) "early packet buffered" "early bird" !got
 
+(* --- unread accounting ---
+
+   Invariant: at quiescence, the per-activity unread count maintained for
+   the lost-wakeup check (paper, section 3.7) equals the number of
+   delivered-but-not-fetched messages sitting in that activity's receive
+   endpoints.  Two activities with one receive endpoint each share a
+   receiver DTU; the script interleaves sends, activity switches and
+   fetch+ack rounds. *)
+
+let prop_unread_matches_pending =
+  QCheck.Test.make ~name:"unread counts match pending queues" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 4))
+    (fun script ->
+      let eng = Engine.create () in
+      let topo = M3v_noc.Topology.star_mesh_2x2 ~tiles:2 in
+      let noc = M3v_noc.Noc.create eng topo in
+      let d0 = Dtu.create ~virtualized:true ~tile:0 eng noc in
+      let d1 = Dtu.create ~virtualized:true ~tile:1 eng noc in
+      let lookup_dtu = function 0 -> Some d0 | 1 -> Some d1 | _ -> None in
+      let lookup_mem = fun _ -> None in
+      Dtu.connect d0 ~lookup_dtu ~lookup_mem;
+      Dtu.connect d1 ~lookup_dtu ~lookup_mem;
+      (* Activity 7 owns d1's ep 1, activity 8 owns d1's ep 2. *)
+      Dtu.ext_config d1 ~ep:1 ~owner:7 (Ep.recv_config ~slots:4 ~slot_size:128 ());
+      Dtu.ext_config d1 ~ep:2 ~owner:8 (Ep.recv_config ~slots:4 ~slot_size:128 ());
+      Dtu.ext_config d0 ~ep:1 ~owner:5
+        (Ep.send_config ~dst_tile:1 ~dst_ep:1 ~max_msg_size:64 ~credits:4 ());
+      Dtu.ext_config d0 ~ep:2 ~owner:5
+        (Ep.send_config ~dst_tile:1 ~dst_ep:2 ~max_msg_size:64 ~credits:4 ());
+      ignore (Dtu.switch_act d0 ~next:5);
+      ignore (Dtu.switch_act d1 ~next:7);
+      let pending_of ep =
+        match (Dtu.ext_read_ep d1 ~ep).Ep.cfg with
+        | Ep.Recv r -> Queue.length r.Ep.pending
+        | _ -> -1
+      in
+      let fetch_ack ep =
+        match Dtu.fetch d1 ~ep with
+        | Ok (Some msg) -> ignore (Dtu.ack d1 ~ep msg)
+        | Ok None | Error _ -> ()
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | 0 -> Dtu.send d0 ~ep:1 ~msg_size:16 (P 0) ~k:(fun _ -> ())
+          | 1 -> Dtu.send d0 ~ep:2 ~msg_size:16 (P 1) ~k:(fun _ -> ())
+          | 2 -> ignore (Dtu.switch_act d1 ~next:7)
+          | 3 -> ignore (Dtu.switch_act d1 ~next:8)
+          | _ ->
+              (* Only the current activity's fetches succeed; foreign ones
+                 fail and are ignored. *)
+              fetch_ack 1;
+              fetch_ack 2);
+          ignore (Engine.run eng);
+          ok :=
+            !ok
+            && Dtu.unread_of d1 7 = pending_of 1
+            && Dtu.unread_of d1 8 = pending_of 2)
+        script;
+      !ok)
+
 let suite =
   [
     ("net two sockets demux", `Quick, test_net_two_sockets_demux);
@@ -186,4 +248,8 @@ let suite =
     ("net early packet buffered", `Quick, test_net_rx_queue_buffers_early_packets);
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_credit_conservation; prop_addrspace_regions_disjoint ]
+      [
+        prop_credit_conservation;
+        prop_addrspace_regions_disjoint;
+        prop_unread_matches_pending;
+      ]
