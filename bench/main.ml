@@ -10,7 +10,8 @@
       tracking simulator performance regressions).
 
    `dune exec bench/main.exe` runs both.  Pass `--bechamel-only` or
-   `--figures-only` to run half. *)
+   `--figures-only` to run half; `--json PATH` additionally dumps the
+   Bechamel estimates as machine-readable JSON (for CI perf tracking). *)
 
 open Bechamel
 open Toolkit
@@ -75,20 +76,68 @@ let bechamel () =
         (Test.name test, analysis))
       tests
   in
+  (* Flatten to (name, ns/run estimate) so both renderers below agree. *)
+  let estimates =
+    List.map
+      (fun (name, analysis) ->
+        let est = ref None in
+        Hashtbl.iter
+          (fun _ ols ->
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> est := Some e
+            | Some [] | None -> ())
+          analysis;
+        (name, !est))
+      results
+  in
   Format.printf "  %-18s %16s@." "experiment" "host ns/run";
   List.iter
-    (fun (name, analysis) ->
-      Hashtbl.iter
-        (fun _ ols ->
-          match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Format.printf "  %-18s %16.0f@." name est
-          | Some [] | None -> Format.printf "  %-18s %16s@." name "n/a")
-        analysis)
-    results
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.printf "  %-18s %16.0f@." name est
+      | None -> Format.printf "  %-18s %16s@." name "n/a")
+    estimates;
+  estimates
+
+(* Machine-readable results for CI perf tracking: one object per
+   benchmark, nanoseconds per run (host-side), null when the OLS fit
+   produced no estimate. *)
+let write_json path estimates =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\n  \"benchmarks\": [\n";
+      List.iteri
+        (fun i (name, est) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name
+               (match est with
+               | Some e -> Printf.sprintf "%.1f" e
+               | None -> "null")
+               (if i < List.length estimates - 1 then "," else "")))
+        estimates;
+      Buffer.add_string buf "  ]\n}\n";
+      Buffer.output_buffer oc buf);
+  Format.printf "@.bench results -> %s@." path
 
 let () =
   let args = Array.to_list Sys.argv in
   let figures_only = List.mem "--figures-only" args in
   let bechamel_only = List.mem "--bechamel-only" args in
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if not bechamel_only then figures ();
-  if not figures_only then bechamel ()
+  if not figures_only then begin
+    let estimates = bechamel () in
+    match json_path with
+    | Some path -> write_json path estimates
+    | None -> ()
+  end

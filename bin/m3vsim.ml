@@ -4,7 +4,11 @@
    experiment accepts --trace FILE to additionally record a Chrome
    trace-event JSON file (load it in chrome://tracing or Perfetto) and
    print latency percentiles; `m3vsim --trace FILE` with no experiment
-   runs a traced RPC microbenchmark (fig6). *)
+   runs a traced RPC microbenchmark (fig6).
+
+   Fault injection: --faults SPEC (e.g. drop=0.01,dup=0.005,crash=2)
+   plus --fault-seed N runs the experiment under a deterministic fault
+   plan; bare `m3vsim --faults SPEC` runs the chaos soak. *)
 
 open Cmdliner
 
@@ -16,14 +20,28 @@ let trace =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let faults =
+  let doc =
+    "Inject deterministic faults described by $(docv), a comma-separated \
+     list of key=value pairs: drop, dup, delay, cmd_fail (probabilities \
+     in [0,1]) and crash, hang, stall (event counts), e.g. \
+     drop=0.01,dup=0.005,crash=2."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed =
+  let doc = "Seed for the fault plan (same spec + seed = same run)." in
+  Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
 let rounds =
   let doc = "Measured RPC round trips." in
   Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
 
 let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: local/remote RPC vs Linux primitives")
-    Term.(const (fun trace rounds -> M3v.Exp_runner.fig6 ?trace ~rounds ())
-          $ trace $ rounds)
+    Term.(const (fun trace faults fault_seed rounds ->
+              M3v.Exp_runner.fig6 ?trace ?faults ~fault_seed ~rounds ())
+          $ trace $ faults $ fault_seed $ rounds)
 
 let runs =
   let doc = "Measured repetitions." in
@@ -31,28 +49,52 @@ let runs =
 
 let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: file read/write throughput")
-    Term.(const (fun trace runs -> M3v.Exp_runner.fig7 ?trace ~runs ())
-          $ trace $ runs)
+    Term.(const (fun trace faults fault_seed runs ->
+              M3v.Exp_runner.fig7 ?trace ?faults ~fault_seed ~runs ())
+          $ trace $ faults $ fault_seed $ runs)
 
 let fig8_cmd =
   Cmd.v (Cmd.info "fig8" ~doc:"Figure 8: UDP latency")
-    Term.(const (fun trace runs -> M3v.Exp_runner.fig8 ?trace ~runs ())
-          $ trace $ runs)
+    Term.(const (fun trace faults fault_seed runs ->
+              M3v.Exp_runner.fig8 ?trace ?faults ~fault_seed ~runs ())
+          $ trace $ faults $ fault_seed $ runs)
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun trace runs -> M3v.Exp_runner.fig9 ?trace ~runs ())
-          $ trace $ runs)
+    Term.(const (fun trace faults fault_seed runs ->
+              M3v.Exp_runner.fig9 ?trace ?faults ~fault_seed ~runs ())
+          $ trace $ faults $ fault_seed $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
-    Term.(const (fun trace runs -> M3v.Exp_runner.fig10 ?trace ~runs ())
-          $ trace $ runs)
+    Term.(const (fun trace faults fault_seed runs ->
+              M3v.Exp_runner.fig10 ?trace ?faults ~fault_seed ~runs ())
+          $ trace $ faults $ fault_seed $ runs)
 
 let voice_cmd =
   Cmd.v (Cmd.info "voice" ~doc:"Section 6.5.1: voice assistant sharing overhead")
-    Term.(const (fun trace runs -> M3v.Exp_runner.voice ?trace ~runs ())
-          $ trace $ runs)
+    Term.(const (fun trace faults fault_seed runs ->
+              M3v.Exp_runner.voice ?trace ?faults ~fault_seed ~runs ())
+          $ trace $ faults $ fault_seed $ runs)
+
+let chaos_rounds =
+  let doc = "Full read+write rounds for the fs workload." in
+  Arg.(value & opt int 5 & info [ "rounds" ] ~doc)
+
+let chaos_ops =
+  let doc = "Inline put/get operations for the kv workload." in
+  Arg.(value & opt int 120 & info [ "ops" ] ~doc)
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos soak: fs + kvstore workloads under fault injection \
+          (defaults to drop=0.01,dup=0.005,delay=0.01,cmd_fail=0.005,\
+          crash=2,hang=1 when --faults is omitted)")
+    Term.(const (fun trace faults fault_seed rounds ops ->
+              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ~rounds ~ops ())
+          $ trace $ faults $ fault_seed $ chaos_rounds $ chaos_ops)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
@@ -73,16 +115,21 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (paper evaluation order)")
     Term.(const M3v.Exp_runner.all $ const ())
 
-(* Bare `m3vsim --trace FILE` runs a traced RPC microbenchmark; bare
-   `m3vsim` shows the experiment list. *)
+(* Bare `m3vsim --faults SPEC` runs the chaos soak; bare `m3vsim --trace
+   FILE` runs a traced RPC microbenchmark; bare `m3vsim` shows the
+   experiment list. *)
 let default =
   Term.ret
     Term.(
-      const (fun trace ->
-          match trace with
-          | Some _ -> `Ok (M3v.Exp_runner.fig6 ?trace ~rounds:200 ())
-          | None -> `Help (`Pager, None))
-      $ trace)
+      const (fun trace faults fault_seed ->
+          match (faults, trace) with
+          | Some _, _ ->
+              `Ok
+                (M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ~rounds:5
+                   ~ops:120 ())
+          | None, Some _ -> `Ok (M3v.Exp_runner.fig6 ?trace ~rounds:200 ())
+          | None, None -> `Help (`Pager, None))
+      $ trace $ faults $ fault_seed)
 
 let () =
   let info = Cmd.info "m3vsim" ~doc:"M3v reproduction: experiment runner" in
@@ -96,6 +143,7 @@ let () =
             fig9_cmd;
             fig10_cmd;
             voice_cmd;
+            chaos_cmd;
             table1_cmd;
             complexity_cmd;
             ablations_cmd;

@@ -1,0 +1,240 @@
+(* Chaos soak (robustness): drive an fs streaming workload and a kv-style
+   inline-RPC workload through m3fs while a deterministic fault plan
+   drops/duplicates/delays NoC packets, glitches DTU commands and
+   crashes/hangs activities — and check that the recovery machinery (DTU
+   retransmit, TileMux watchdog, controller restarts, client RPC
+   deadlines) carries both workloads to completion with intact data. *)
+
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module Engine = M3v_sim.Engine
+module A = M3v_mux.Act_api
+module Fs_client = M3v_os.Fs_client
+module Fs_proto = M3v_os.Fs_proto
+module Fault = M3v_fault.Fault
+module Controller = M3v_kernel.Controller
+module Platform = M3v_tile.Platform
+module Dtu = M3v_dtu.Dtu
+
+type result = {
+  spec : Fault.spec;
+  seed : int;
+  fs_done : bool;  (** the fs client ran all its rounds to the end *)
+  kv_done : bool;  (** the kv client ran all its ops to the end *)
+  fs_rounds : int;  (** rounds fully completed (restarts repeat rounds) *)
+  data_ok : bool;  (** every completed read round returned intact bytes *)
+  kv_ok : int;
+  kv_errors : int;  (** ops that surfaced [R_err] (e.g. EIO) *)
+  fault_stats : Fault.stats;
+  dtu_retries : int;
+  dtu_timeouts : int;
+  dtu_dup_drops : int;
+  crashes : int;
+  restarts : int;
+  credits_reclaimed : int;
+  end_time : Time.t;
+}
+
+let default_spec =
+  {
+    Fault.none with
+    Fault.drop = 0.01;
+    dup = 0.005;
+    delay = 0.01;
+    cmd_fail = 0.005;
+    crash = 2;
+    hang = 1;
+  }
+
+let file_size = 64 * 1024
+let buffer_size = 4096
+let write_chunks = 4
+let kv_keys = 32
+let kv_vsize = 64
+
+(* Stream /chaos.bin end to end, then write a few buffers to /out.bin.
+   Faulted RPCs surface as [Error]/short transfers; the round is then not
+   counted and the next one starts over. *)
+let fs_program ~client_box ~rounds ~completed ~data_ok ~finished _env =
+  let client = Option.get !client_box in
+  let vfs = Fs_client.to_vfs client in
+  let* buf = A.alloc_buf buffer_size in
+  let read_round () =
+    let* fd = vfs.M3v_os.Vfs.open_ "/chaos.bin" Fs_proto.rdonly in
+    match fd with
+    | Error _ -> Proc.return false
+    | Ok fd ->
+        let total = ref 0 in
+        let clean = ref true in
+        let rec drain () =
+          let* n = vfs.M3v_os.Vfs.read fd buf buffer_size in
+          if n = 0 then Proc.return ()
+          else begin
+            for i = 0 to n - 1 do
+              if Bytes.get buf.M3v_mux.Act_ops.data i <> 'p' then clean := false
+            done;
+            total := !total + n;
+            drain ()
+          end
+        in
+        let* () = drain () in
+        let* () = vfs.M3v_os.Vfs.close fd in
+        Proc.return (!total = file_size && !clean)
+  in
+  let write_round () =
+    let* fd = vfs.M3v_os.Vfs.open_ "/out.bin" Fs_proto.wronly in
+    match fd with
+    | Error _ -> Proc.return false
+    | Ok fd ->
+        Bytes.fill buf.M3v_mux.Act_ops.data 0 buffer_size 'w';
+        let written = ref 0 in
+        let* () =
+          Proc.repeat write_chunks (fun _ ->
+              let* n = vfs.M3v_os.Vfs.write fd buf buffer_size in
+              written := !written + n;
+              Proc.return ())
+        in
+        let* () = vfs.M3v_os.Vfs.close fd in
+        Proc.return (!written = write_chunks * buffer_size)
+  in
+  let* () =
+    Proc.repeat rounds (fun _ ->
+        let* r_ok = read_round () in
+        let* w_ok = write_round () in
+        if r_ok && w_ok then incr completed;
+        if not r_ok then data_ok := false;
+        Proc.return ())
+  in
+  finished := true;
+  Proc.return ()
+
+(* Keyed puts and gets over m3fs inline RPCs; every reply is checked.
+   [R_err] replies (bounded-retry exhaustion while the server is down)
+   are counted, not fatal. *)
+let kv_program ~client_box ~ops ~ok ~errors ~finished _env =
+  let client = Option.get !client_box in
+  let kv_flags =
+    (* writable, but neither create nor truncate: the store is preloaded *)
+    { Fs_proto.fl_write = true; fl_create = false; fl_trunc = false }
+  in
+  let* fd = Fs_client.rpc client (Fs_proto.Open { path = "/kv.bin"; flags = kv_flags }) in
+  match fd with
+  | Fs_proto.R_fd fd ->
+      let value key = Bytes.make kv_vsize (Char.chr (Char.code 'a' + (key mod 26))) in
+      let* () =
+        Proc.repeat ops (fun i ->
+            (* Op pairs: put key, then get it back and compare. *)
+            let key = i / 2 mod kv_keys in
+            let off = key * kv_vsize in
+            if i mod 2 = 0 then
+              let* rep =
+                Fs_client.rpc client
+                  (Fs_proto.Write_inline { fd; off; data = value key })
+              in
+              match rep with
+              | Fs_proto.R_ok -> incr ok; Proc.return ()
+              | _ -> incr errors; Proc.return ()
+            else
+              let* rep =
+                Fs_client.rpc client
+                  (Fs_proto.Read_inline { fd; off; len = kv_vsize })
+              in
+              match rep with
+              | Fs_proto.R_data data when Bytes.equal data (value key) ->
+                  incr ok; Proc.return ()
+              | _ -> incr errors; Proc.return ())
+      in
+      let* _ = Fs_client.rpc client (Fs_proto.Close { fd; size = kv_keys * kv_vsize }) in
+      finished := true;
+      Proc.return ()
+  | _ ->
+      (* Could not even open the store: give up (counts as not done). *)
+      Proc.return ()
+
+let run ?(spec = default_spec) ?(seed = 7) ?(fs_rounds = 5) ?(kv_ops = 120) () =
+  let plan = Fault.create ~seed spec in
+  Fault.with_plan plan (fun () ->
+      let sys = System.create ~variant:System.M3v () in
+      let ctrl = System.controller sys in
+      let pager = System.with_pager sys ~tile:Exp_common.boom_tile_d in
+      (* The pager is a single point of failure for every demand-paged
+         activity; a real deployment would run it redundantly. *)
+      Fault.protect plan ~act:pager;
+      let fs = Services.make_fs sys ~tile:Exp_common.boom_tile_c ~blocks:4096 () in
+      Controller.set_restartable ctrl ~act:fs.Services.fs_aid ~max_restarts:16;
+      Services.preload_file sys fs ~path:"/chaos.bin" (Bytes.make file_size 'p');
+      Services.preload_file sys fs ~path:"/kv.bin"
+        (Bytes.make (kv_keys * kv_vsize) 'a');
+      let completed = ref 0 and data_ok = ref true and fs_finished = ref false in
+      let kv_ok = ref 0 and kv_errors = ref 0 and kv_finished = ref false in
+      let fs_box = ref None and kv_box = ref None in
+      let fs_aid, fs_env =
+        System.spawn sys ~tile:Exp_common.boom_tile_a ~name:"chaos-fs"
+          (fs_program ~client_box:fs_box ~rounds:fs_rounds ~completed ~data_ok
+             ~finished:fs_finished)
+      in
+      let kv_aid, kv_env =
+        System.spawn sys ~tile:Exp_common.boom_tile_b ~name:"chaos-kv"
+          (kv_program ~client_box:kv_box ~ops:kv_ops ~ok:kv_ok ~errors:kv_errors
+             ~finished:kv_finished)
+      in
+      Controller.set_restartable ctrl ~act:fs_aid ~max_restarts:8;
+      Controller.set_restartable ctrl ~act:kv_aid ~max_restarts:8;
+      fs_box := Some (fs.Services.connect fs_aid fs_env);
+      kv_box := Some (fs.Services.connect kv_aid kv_env);
+      System.boot sys;
+      ignore (System.run ~until:(Time.s 2) sys);
+      let platform = System.platform sys in
+      let tiles =
+        Platform.processing_tiles platform
+        @ [ Platform.controller_tile platform ]
+      in
+      let retries, timeouts, dup_drops =
+        List.fold_left
+          (fun (r, t, d) tile ->
+            let s = Dtu.stats (Platform.dtu platform tile) in
+            ( r + s.Dtu.retries,
+              t + s.Dtu.timeouts,
+              d + s.Dtu.dup_drops ))
+          (0, 0, 0) tiles
+      in
+      let cstats = Controller.stats ctrl in
+      {
+        spec;
+        seed;
+        fs_done = !fs_finished;
+        kv_done = !kv_finished;
+        fs_rounds = !completed;
+        data_ok = !data_ok;
+        kv_ok = !kv_ok;
+        kv_errors = !kv_errors;
+        fault_stats = Fault.stats plan;
+        dtu_retries = retries;
+        dtu_timeouts = timeouts;
+        dtu_dup_drops = dup_drops;
+        crashes = cstats.Controller.crashes;
+        restarts = cstats.Controller.restarts;
+        credits_reclaimed = cstats.Controller.credits_reclaimed;
+        end_time = Engine.now (System.engine sys);
+      })
+
+let print r =
+  let ff = Format.std_formatter in
+  Format.fprintf ff "@.Chaos soak: faults=%s seed=%d@."
+    (Fault.spec_to_string r.spec)
+    r.seed;
+  Format.fprintf ff "  injected: %a@." Fault.pp_stats r.fault_stats;
+  Format.fprintf ff
+    "  recovery: dtu retries=%d timeouts=%d dup-drops=%d | crashes=%d \
+     restarts=%d credits-reclaimed=%d@."
+    r.dtu_retries r.dtu_timeouts r.dtu_dup_drops r.crashes r.restarts
+    r.credits_reclaimed;
+  Format.fprintf ff
+    "  fs: %s (%d full rounds, data %s) | kv: %s (%d ok, %d errors)@."
+    (if r.fs_done then "completed" else "DID NOT FINISH")
+    r.fs_rounds
+    (if r.data_ok then "intact" else "CORRUPT")
+    (if r.kv_done then "completed" else "DID NOT FINISH")
+    r.kv_ok r.kv_errors;
+  Format.fprintf ff "  simulated time: %.3f ms@." (Time.to_s r.end_time *. 1e3)

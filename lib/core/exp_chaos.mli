@@ -1,0 +1,37 @@
+(** Chaos-soak experiment: fs and kv workloads on m3fs under deterministic
+    fault injection ({!M3v_fault.Fault}), exercising the whole recovery
+    stack — DTU retransmit/dedup, the TileMux watchdog, controller crash
+    handling with in-place service restarts, and bounded client RPC
+    deadlines.  The same spec and seed reproduce the same run exactly. *)
+
+type result = {
+  spec : M3v_fault.Fault.spec;
+  seed : int;
+  fs_done : bool;  (** the fs client ran all its rounds to the end *)
+  kv_done : bool;  (** the kv client ran all its ops to the end *)
+  fs_rounds : int;  (** rounds fully completed (restarts repeat rounds) *)
+  data_ok : bool;  (** every completed read round returned intact bytes *)
+  kv_ok : int;
+  kv_errors : int;  (** ops that surfaced [R_err] (e.g. EIO) *)
+  fault_stats : M3v_fault.Fault.stats;
+  dtu_retries : int;
+  dtu_timeouts : int;
+  dtu_dup_drops : int;
+  crashes : int;
+  restarts : int;
+  credits_reclaimed : int;
+  end_time : M3v_sim.Time.t;
+}
+
+(** drop=0.01, dup=0.005, delay=0.01, cmd_fail=0.005, crash=2, hang=1. *)
+val default_spec : M3v_fault.Fault.spec
+
+val run :
+  ?spec:M3v_fault.Fault.spec ->
+  ?seed:int ->
+  ?fs_rounds:int ->
+  ?kv_ops:int ->
+  unit ->
+  result
+
+val print : result -> unit

@@ -1,5 +1,25 @@
 let opt v = if v <= 0 then None else Some v
 
+let parse_faults s =
+  match M3v_fault.Fault.parse s with
+  | Ok spec -> spec
+  | Error msg ->
+      Format.eprintf "m3vsim: bad --faults spec: %s@." msg;
+      exit 2
+
+(* When [faults] names a spec, run the experiment under a deterministic
+   fault plan (same spec + seed => same fault schedule). *)
+let with_faults ?faults ~fault_seed f =
+  match faults with
+  | None -> f ()
+  | Some s ->
+      let plan = M3v_fault.Fault.create ~seed:fault_seed (parse_faults s) in
+      M3v_fault.Fault.with_plan plan (fun () ->
+          f ();
+          Format.printf "@.fault injection: seed=%d %a@." fault_seed
+            M3v_fault.Fault.pp_stats
+            (M3v_fault.Fault.stats plan))
+
 (* When [trace] names a file, run the experiment with a trace sink
    installed, then dump Chrome trace-event JSON there and print the
    latency/summary tables. *)
@@ -24,23 +44,38 @@ let with_trace trace f =
         path;
       M3v_obs.Report.print Format.std_formatter sink
 
-let fig6 ?trace ~rounds () =
-  with_trace trace (fun () -> Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ()))
+let fig6 ?trace ?faults ?(fault_seed = 1) ~rounds () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ())))
 
-let fig7 ?trace ~runs () =
-  with_trace trace (fun () -> Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ()))
+let fig7 ?trace ?faults ?(fault_seed = 1) ~runs () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ())))
 
-let fig8 ?trace ~runs () =
-  with_trace trace (fun () -> Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ()))
+let fig8 ?trace ?faults ?(fault_seed = 1) ~runs () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ())))
 
-let fig9 ?trace ~runs () =
-  with_trace trace (fun () -> Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ()))
+let fig9 ?trace ?faults ?(fault_seed = 1) ~runs () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ())))
 
-let fig10 ?trace ~runs () =
-  with_trace trace (fun () -> Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ()))
+let fig10 ?trace ?faults ?(fault_seed = 1) ~runs () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ())))
 
-let voice ?trace ~runs () =
-  with_trace trace (fun () -> Exp_voice.print (Exp_voice.run ?runs:(opt runs) ()))
+let voice ?trace ?faults ?(fault_seed = 1) ~runs () =
+  with_faults ?faults ~fault_seed (fun () ->
+      with_trace trace (fun () -> Exp_voice.print (Exp_voice.run ?runs:(opt runs) ())))
+
+(* The chaos soak manages its own plan: [Exp_chaos.run] installs the spec
+   and seed itself so the schedule is independent of CLI wrapping. *)
+let chaos ?trace ?faults ?(fault_seed = 7) ~rounds ~ops () =
+  let spec = Option.map parse_faults faults in
+  with_trace trace (fun () ->
+      Exp_chaos.print
+        (Exp_chaos.run ?spec ~seed:fault_seed ?fs_rounds:(opt rounds)
+           ?kv_ops:(opt ops) ()))
 
 let table1 ?trace () =
   with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))

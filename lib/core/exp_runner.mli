@@ -5,14 +5,39 @@
     When [?trace] names a file, the experiment runs with a tracing sink
     installed: on completion a Chrome trace-event JSON file is written
     there and latency percentiles plus a per-tile event summary are
-    printed (see {!M3v_obs}). *)
+    printed (see {!M3v_obs}).
 
-val fig6 : ?trace:string -> rounds:int -> unit -> unit
-val fig7 : ?trace:string -> runs:int -> unit -> unit
-val fig8 : ?trace:string -> runs:int -> unit -> unit
-val fig9 : ?trace:string -> runs:int -> unit -> unit
-val fig10 : ?trace:string -> runs:int -> unit -> unit
-val voice : ?trace:string -> runs:int -> unit -> unit
+    When [?faults] names a {!M3v_fault.Fault.parse}-able spec (e.g.
+    ["drop=0.01,dup=0.005,crash=2"]), the experiment runs under a
+    deterministic fault plan seeded with [fault_seed] and the injection
+    tally is printed at the end. *)
+
+val fig6 :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> rounds:int -> unit -> unit
+
+val fig7 :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+
+val fig8 :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+
+val fig9 :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+
+val fig10 :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+
+val voice :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+
+(** Chaos soak ({!Exp_chaos}): fs + kv workloads on m3fs under fault
+    injection, exercising DTU retransmit, the TileMux watchdog,
+    controller crash recovery and client RPC deadlines.  [faults]
+    defaults to {!Exp_chaos.default_spec}; [rounds]/[ops] <= 0 pick the
+    experiment defaults. *)
+val chaos :
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> rounds:int -> ops:int ->
+  unit -> unit
 val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit
 

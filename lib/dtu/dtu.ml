@@ -1,6 +1,7 @@
 module Engine = M3v_sim.Engine
 module Noc = M3v_noc.Noc
 module Trace = M3v_obs.Trace
+module Fault = M3v_fault.Fault
 open Dtu_types
 
 type completion = (unit, Dtu_types.error) result -> unit
@@ -16,6 +17,9 @@ type stats = {
   core_reqs : int;
   delivery_failures : int;
   translation_faults : int;
+  retries : int;
+  timeouts : int;
+  dup_drops : int;
 }
 
 let empty_stats =
@@ -30,6 +34,9 @@ let empty_stats =
     core_reqs = 0;
     delivery_failures = 0;
     translation_faults = 0;
+    retries = 0;
+    timeouts = 0;
+    dup_drops = 0;
   }
 
 type t = {
@@ -182,26 +189,40 @@ let push_core_req dst act =
 (* [deliver dst msg ~dst_ep] stores [msg] in the receive buffer.  On a vDTU
    this always succeeds while a slot is free, independent of whether the
    owner is running — the defining difference from M3x (paper, section
-   3.8). *)
+   3.8).  Returns [Ok true] for a fresh delivery and [Ok false] for a
+   retransmitted/duplicated copy of a message already delivered: the copy
+   is dropped without consuming a slot, but the sender still gets its
+   completion acknowledgement. *)
 let deliver dst ~dst_ep (msg : Msg.t) =
   match get_ep dst dst_ep with
   | Error _ -> Error Recv_gone
   | Ok e -> (
       match e.Ep.cfg with
       | Ep.Recv r ->
-          if r.Ep.occupied >= r.Ep.slots then Error Recv_gone
+          if Fault.on () && Ep.seen_before r msg.Msg.uid then begin
+            dst.stats <- { dst.stats with dup_drops = dst.stats.dup_drops + 1 };
+            if Trace.on () then
+              Trace.instant ~cat:"dtu" ~name:"dup_drop" ~tile:dst.tile
+                ~act:e.Ep.owner
+                ~ts:(Engine.now dst.engine)
+                ~args:[ ("ep", Trace.I dst_ep) ]
+                ();
+            Ok false
+          end
+          else if r.Ep.occupied >= r.Ep.slots then Error Recv_gone
           else if msg.Msg.size + Msg.header_bytes > r.Ep.slot_size then
             Error Recv_gone
           else begin
             Queue.add msg r.Ep.pending;
             r.Ep.occupied <- r.Ep.occupied + 1;
+            if Fault.on () then Ep.note_seen r msg.Msg.uid;
             let owner = e.Ep.owner in
             if dst.virtualized then begin
               incr (unread_cell dst owner);
               if owner <> dst.cur then push_core_req dst owner
             end;
             dst.msg_arrived owner;
-            Ok ()
+            Ok true
           end
       | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Recv_gone)
 
@@ -211,35 +232,107 @@ let restore_credit dst_dtu ~ep =
       if s.Ep.credits < s.Ep.max_credits then s.Ep.credits <- s.Ep.credits + 1
   | Ok _ | Error _ -> ()
 
+(* --- retransmission ---
+
+   Data-plane packets are best-effort under fault injection, so every
+   command that crosses the NoC runs inside a retransmit ladder: if no
+   completion acknowledgement arrives within an exponentially growing
+   window the command is reissued (same message uid, so the receiver
+   deduplicates), and once the budget is exhausted it completes with
+   [Timeout].  The ladder is armed only while a fault plan is installed;
+   with faults off the first attempt is the only one and no timer is
+   created, keeping the fault-free timeline untouched. *)
+
+let retry_base_ps = 2_000_000 (* 2 us: many worst-case NoC round trips *)
+let max_retries = 6
+
+(* [with_retries t ~name ~k ~attempt] runs [attempt] under the ladder.
+   [attempt] receives [finish] (completes the command at most once; late
+   and duplicated completions are ignored) and [active] (false once the
+   command completed: in-flight copies of a closed transaction are
+   discarded at arrival so they cannot perturb endpoint state that has
+   already been settled, e.g. refunded credits). *)
+let with_retries t ~name ~k ~attempt =
+  let done_ = ref false in
+  let finish result =
+    if not !done_ then begin
+      done_ := true;
+      k result
+    end
+  in
+  let active () = not !done_ in
+  let rec go n =
+    if not !done_ then begin
+      if Fault.on () then
+        Engine.after t.engine ~delay:(retry_base_ps * (1 lsl n)) (fun () ->
+            if not !done_ then
+              if n >= max_retries then begin
+                t.stats <- { t.stats with timeouts = t.stats.timeouts + 1 };
+                if Trace.on () then
+                  Trace.instant ~cat:"dtu" ~name:(name ^ "_timeout")
+                    ~tile:t.tile
+                    ~ts:(Engine.now t.engine)
+                    ();
+                finish (Error Timeout)
+              end
+              else begin
+                t.stats <- { t.stats with retries = t.stats.retries + 1 };
+                if Trace.on () then
+                  Trace.instant ~cat:"dtu" ~name:"retransmit" ~tile:t.tile
+                    ~ts:(Engine.now t.engine)
+                    ~args:[ ("cmd", Trace.S name); ("try", Trace.I (n + 1)) ]
+                    ();
+                go (n + 1)
+              end);
+      (* A transient command glitch loses this attempt on the floor; the
+         ladder reissues it. *)
+      if Fault.on () && Fault.cmd_fails ~now:(Engine.now t.engine) ~tile:t.tile
+      then ()
+      else attempt ~active ~finish
+    end
+  in
+  go 0
+
 (* --- unprivileged commands --- *)
 
 let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
   let bytes = msg.Msg.size + Msg.header_bytes in
-  Noc.send t.noc ~src:t.tile ~dst:dst_tile ~bytes ~on_delivered:(fun () ->
-      match t.lookup_dtu dst_tile with
-      | None ->
-          t.stats <-
-            { t.stats with delivery_failures = t.stats.delivery_failures + 1 };
-          on_credit_fail ();
-          (* Error response travels back to the sender. *)
-          Noc.send t.noc ~src:dst_tile ~dst:t.tile ~bytes:credit_packet_bytes
-            ~on_delivered:(fun () -> k (Error Recv_gone))
-      | Some dst -> (
-          match deliver dst ~dst_ep msg with
-          | Ok () ->
-              (* Completion acknowledgement back to the sending DTU. *)
-              Noc.send t.noc ~src:dst_tile ~dst:t.tile
-                ~bytes:credit_packet_bytes ~on_delivered:(fun () -> k (Ok ()))
-          | Error _ ->
-              t.stats <-
-                {
-                  t.stats with
-                  delivery_failures = t.stats.delivery_failures + 1;
-                };
-              on_credit_fail ();
-              Noc.send t.noc ~src:dst_tile ~dst:t.tile
-                ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                  k (Error Recv_gone))))
+  (* Any terminal failure — receiver gone, buffer full, retransmit budget
+     exhausted — refunds the consumed credit.  For [Timeout] this is
+     credit-safe because completion acknowledgements ride the lossless
+     control sideband: had any copy occupied a slot, its ack would have
+     completed the command. *)
+  let k = function
+    | Ok () -> k (Ok ())
+    | Error e ->
+        t.stats <-
+          { t.stats with delivery_failures = t.stats.delivery_failures + 1 };
+        on_credit_fail ();
+        k (Error e)
+  in
+  with_retries t ~name:"send" ~k ~attempt:(fun ~active ~finish ->
+      Noc.send ~kind:Noc.Data t.noc ~src:t.tile ~dst:dst_tile ~bytes
+        ~on_delivered:(fun () ->
+          if active () then
+            match t.lookup_dtu dst_tile with
+            | None ->
+                (* Error response travels back to the sender. *)
+                Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                  ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                    finish (Error Recv_gone))
+            | Some dst -> (
+                match deliver dst ~dst_ep msg with
+                | Ok _fresh ->
+                    (* Completion acknowledgement back to the sending DTU
+                       (also for deduplicated copies: the sender may have
+                       missed the first ack). *)
+                    Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                      ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                        finish (Ok ()))
+                | Error _ ->
+                    Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                      ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                        finish (Error Recv_gone)))))
 
 let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
   t.stats <- { t.stats with sends = t.stats.sends + 1 };
@@ -322,28 +415,56 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
           in
           let credit_ep = if freed then to_msg.Msg.src_send_ep else None in
           let bytes = msg_size + Msg.header_bytes in
-          Noc.send t.noc ~src:t.tile ~dst:dst_tile ~bytes
-            ~on_delivered:(fun () ->
-              match t.lookup_dtu dst_tile with
-              | None -> k (Error Recv_gone)
-              | Some dst ->
-                  (match credit_ep with
-                  | Some cep -> restore_credit dst ~ep:cep
-                  | None -> ());
-                  let result =
-                    match deliver dst ~dst_ep msg with
-                    | Ok () -> Ok ()
-                    | Error e ->
-                        t.stats <-
-                          {
-                            t.stats with
-                            delivery_failures = t.stats.delivery_failures + 1;
-                          };
-                        Error e
-                  in
-                  Noc.send t.noc ~src:dst_tile ~dst:t.tile
-                    ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                      k result))))
+          (* The piggybacked credit is restored the first time any copy of
+             the reply reaches the requester's DTU; deduplicated copies
+             must not mint another one. *)
+          let credited = ref false in
+          let restore_once dst =
+            if not !credited then begin
+              credited := true;
+              match credit_ep with
+              | Some cep -> restore_credit dst ~ep:cep
+              | None -> ()
+            end
+          in
+          let k = function
+            | Ok () -> k (Ok ())
+            | Error e ->
+                (* A reply that exhausted its retransmit budget never
+                   reached the requester, so the piggybacked credit was
+                   never granted.  Credit state is control-plane: re-issue
+                   the grant over the lossless sideband, or the
+                   requester's send gate wedges with zero credits.
+                   [restore_once] keeps a late-delivered copy from minting
+                   a second credit. *)
+                (match t.lookup_dtu dst_tile with
+                | Some dst -> restore_once dst
+                | None -> ());
+                t.stats <-
+                  {
+                    t.stats with
+                    delivery_failures = t.stats.delivery_failures + 1;
+                  };
+                k (Error e)
+          in
+          with_retries t ~name:"reply" ~k ~attempt:(fun ~active ~finish ->
+              Noc.send ~kind:Noc.Data t.noc ~src:t.tile ~dst:dst_tile ~bytes
+                ~on_delivered:(fun () ->
+                  if active () then
+                    match t.lookup_dtu dst_tile with
+                    | None -> finish (Error Recv_gone)
+                    | Some dst -> (
+                        match deliver dst ~dst_ep msg with
+                        | Ok fresh ->
+                            if fresh then restore_once dst;
+                            Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                              ~bytes:credit_packet_bytes
+                              ~on_delivered:(fun () -> finish (Ok ()))
+                        | Error e ->
+                            restore_once dst;
+                            Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                              ~bytes:credit_packet_bytes
+                              ~on_delivered:(fun () -> finish (Error e)))))))
 
 let fetch t ~ep =
   t.stats <- { t.stats with fetches = t.stats.fetches + 1 };
@@ -440,20 +561,32 @@ let dma t ~ep ~off ~len ~vaddr ~write ~k ~action =
                     let phys_off = m.Ep.base + off in
                     (* Request travels to the memory tile, the DRAM access
                        is serialized there, and the data crosses the NoC in
-                       whichever direction the command needs. *)
+                       whichever direction the command needs.  Both legs
+                       are data-plane packets; the command is idempotent
+                       (same bytes, same window), so a retried attempt may
+                       repeat the DRAM access safely. *)
                     let request_bytes = if write then len + 16 else 16 in
-                    Noc.send t.noc ~src:t.tile ~dst:m.Ep.mem_tile
-                      ~bytes:request_bytes ~on_delivered:(fun () ->
-                        let done_at =
-                          Dram.access_time dram ~now:(Engine.now t.engine)
-                            ~bytes:len
-                        in
-                        Engine.at t.engine ~time:done_at (fun () ->
-                            action dram ~phys_off;
-                            let response_bytes = if write then 8 else len + 8 in
-                            Noc.send t.noc ~src:m.Ep.mem_tile ~dst:t.tile
-                              ~bytes:response_bytes ~on_delivered:(fun () ->
-                                k (Ok ()))))))
+                    with_retries t ~name:(if write then "dma_write" else "dma_read")
+                      ~k ~attempt:(fun ~active ~finish ->
+                        Noc.send ~kind:Noc.Data t.noc ~src:t.tile
+                          ~dst:m.Ep.mem_tile ~bytes:request_bytes
+                          ~on_delivered:(fun () ->
+                            if active () then
+                              let done_at =
+                                Dram.access_time dram
+                                  ~now:(Engine.now t.engine) ~bytes:len
+                              in
+                              Engine.at t.engine ~time:done_at (fun () ->
+                                  if active () then begin
+                                    action dram ~phys_off;
+                                    let response_bytes =
+                                      if write then 8 else len + 8
+                                    in
+                                    Noc.send ~kind:Noc.Data t.noc
+                                      ~src:m.Ep.mem_tile ~dst:t.tile
+                                      ~bytes:response_bytes
+                                      ~on_delivered:(fun () -> finish (Ok ()))
+                                  end)))))
       | Ep.Invalid | Ep.Send _ | Ep.Recv _ ->
           complete_local t ~k (Error Wrong_ep_type))
 
@@ -522,4 +655,70 @@ let ext_restore_eps t ~first eps =
       t.eps.(first + i) <- Ep.snapshot saved)
     eps
 
-let ext_inject t ~ep msg = deliver t ~dst_ep:ep msg
+let ext_inject t ~ep msg = Result.map ignore (deliver t ~dst_ep:ep msg)
+
+(* Drop every message still queued at a receive endpoint, freeing the
+   slots and returning senders' credits exactly as an ack would.  The
+   controller uses this when restarting a crashed activity in place:
+   replies addressed to the dead incarnation must not pair with the first
+   request of its successor. *)
+let ext_drain_recv t ~ep =
+  check_ep_index t ep;
+  let e = t.eps.(ep) in
+  match e.Ep.cfg with
+  | Ep.Recv r ->
+      let dropped = ref 0 in
+      let rec loop () =
+        match Queue.take_opt r.Ep.pending with
+        | None -> ()
+        | Some msg ->
+            incr dropped;
+            if r.Ep.occupied > 0 then r.Ep.occupied <- r.Ep.occupied - 1;
+            if t.virtualized then begin
+              let cell = unread_cell t e.Ep.owner in
+              if !cell > 0 then decr cell
+            end;
+            (match msg.Msg.src_send_ep with
+            | Some sep ->
+                Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
+                  ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                    match t.lookup_dtu msg.Msg.src_tile with
+                    | Some src_dtu -> restore_credit src_dtu ~ep:sep
+                    | None -> ())
+            | None -> ());
+            loop ()
+      in
+      loop ();
+      !dropped
+  | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> 0
+
+(* Reconcile a receive endpoint's slot count with its queue after its
+   owner crashed: slots held by messages the dead incarnation fetched but
+   never acknowledged would leak forever (the restarted program never saw
+   them, so it will never ack them).  Returns how many slots were freed. *)
+let ext_release_fetched t ~ep =
+  check_ep_index t ep;
+  match t.eps.(ep).Ep.cfg with
+  | Ep.Recv r ->
+      let queued = Queue.length r.Ep.pending in
+      let leaked = r.Ep.occupied - queued in
+      r.Ep.occupied <- queued;
+      max leaked 0
+  | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> 0
+
+(* Reset every send endpoint targeting [dst_tile:dst_ep] to full credits;
+   returns the number of credits reclaimed.  The controller uses this when
+   tearing down a crashed activity: credits spent on messages the dead
+   activity received but never acknowledged would otherwise be orphaned at
+   its peers. *)
+let ext_reclaim_credits t ~dst_tile ~dst_ep =
+  let reclaimed = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.Ep.cfg with
+      | Ep.Send s when s.Ep.dst_tile = dst_tile && s.Ep.dst_ep = dst_ep ->
+          reclaimed := !reclaimed + (s.Ep.max_credits - s.Ep.credits);
+          s.Ep.credits <- s.Ep.max_credits
+      | _ -> ())
+    t.eps;
+  !reclaimed

@@ -159,6 +159,27 @@ val ext_restore_eps : t -> first:int -> Ep.t array -> unit
     caller. *)
 val ext_inject : t -> ep:int -> Msg.t -> (unit, Dtu_types.error) result
 
+(** [ext_reclaim_credits t ~dst_tile ~dst_ep] resets every send endpoint of
+    this DTU that targets the given receive endpoint back to full credits
+    and returns how many credits were reclaimed.  Used by the controller
+    during crash cleanup: messages the dead activity received but never
+    acknowledged would otherwise leave its peers' credits orphaned. *)
+val ext_reclaim_credits : t -> dst_tile:int -> dst_ep:int -> int
+
+(** [ext_drain_recv t ~ep] drops every message still queued at a receive
+    endpoint, freeing the slots and returning the senders' credits exactly
+    as an ack would; returns how many messages were dropped.  Used by the
+    controller when restarting a crashed activity in place: replies
+    addressed to the dead incarnation must not pair with the first request
+    of its successor. *)
+val ext_drain_recv : t -> ep:int -> int
+
+(** [ext_release_fetched t ~ep] frees receive slots held by messages that
+    were fetched but never acknowledged — after a crash the restarted
+    incarnation never saw them and will never ack them, so the slots would
+    leak forever.  Returns how many slots were freed. *)
+val ext_release_fetched : t -> ep:int -> int
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -172,6 +193,9 @@ type stats = {
   core_reqs : int;
   delivery_failures : int;
   translation_faults : int;
+  retries : int;  (** retransmitted command attempts (fault injection) *)
+  timeouts : int;  (** commands that exhausted their retransmit budget *)
+  dup_drops : int;  (** deduplicated message copies dropped on receive *)
 }
 
 val stats : t -> stats

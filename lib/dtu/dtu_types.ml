@@ -25,6 +25,7 @@ type error =
   | Out_of_bounds
   | No_perm
   | Page_boundary
+  | Timeout
 
 let error_to_string = function
   | No_such_ep -> "no such endpoint"
@@ -37,6 +38,7 @@ let error_to_string = function
   | Out_of_bounds -> "out of bounds"
   | No_perm -> "no permission"
   | Page_boundary -> "transfer crosses page boundary"
+  | Timeout -> "command timed out"
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 

@@ -38,6 +38,10 @@ type error =
   | Page_boundary
       (** transfer crosses a page: the vDTU restricts every command's
           source/destination to a single page (paper, section 3.6) *)
+  | Timeout
+      (** the command's retransmit budget ran out without a completion
+          acknowledgement (only possible under fault injection); for SEND
+          the credit has been refunded *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

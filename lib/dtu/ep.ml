@@ -12,7 +12,21 @@ type recv = {
   slot_size : int;
   mutable occupied : int;
   pending : Msg.t Queue.t;
+  (* Receiver-side dedup under fault injection: uids of recently delivered
+     messages, bounded FIFO.  Unused (and empty) when faults are off. *)
+  seen : (int, unit) Hashtbl.t;
+  seen_fifo : int Queue.t;
 }
+
+let seen_cap = 256
+
+let note_seen r uid =
+  Hashtbl.replace r.seen uid ();
+  Queue.add uid r.seen_fifo;
+  if Queue.length r.seen_fifo > seen_cap then
+    Hashtbl.remove r.seen (Queue.pop r.seen_fifo)
+
+let seen_before r uid = Hashtbl.mem r.seen uid
 
 type mem = {
   mem_tile : int;
@@ -32,7 +46,15 @@ let send_config ~dst_tile ~dst_ep ?(label = 0) ~max_msg_size ~credits () =
 
 let recv_config ~slots ~slot_size () =
   if slots <= 0 then invalid_arg "Ep.recv_config: slots must be positive";
-  Recv { slots; slot_size; occupied = 0; pending = Queue.create () }
+  Recv
+    {
+      slots;
+      slot_size;
+      occupied = 0;
+      pending = Queue.create ();
+      seen = Hashtbl.create 8;
+      seen_fifo = Queue.create ();
+    }
 
 let mem_config ~mem_tile ~base ~size ~perm =
   if size <= 0 || base < 0 then invalid_arg "Ep.mem_config: bad window";
@@ -44,8 +66,13 @@ let snapshot t =
     | Invalid -> Invalid
     | Send s -> Send { s with dst_tile = s.dst_tile }
     | Recv r ->
-        let pending = Queue.copy r.pending in
-        Recv { r with pending }
+        Recv
+          {
+            r with
+            pending = Queue.copy r.pending;
+            seen = Hashtbl.copy r.seen;
+            seen_fifo = Queue.copy r.seen_fifo;
+          }
     | Mem m -> Mem { m with mem_tile = m.mem_tile }
   in
   { cfg; owner = t.owner }

@@ -19,7 +19,17 @@ type recv = {
   slot_size : int;  (** maximum message size (incl. header) per slot *)
   mutable occupied : int;  (** slots holding fetched-but-unacked or unread messages *)
   pending : Msg.t Queue.t;  (** delivered, not yet fetched *)
+  seen : (int, unit) Hashtbl.t;
+      (** uids of recently delivered messages (dedup under fault injection) *)
+  seen_fifo : int Queue.t;  (** eviction order for [seen], bounded *)
 }
+
+(** Record [uid] as delivered on [r] (bounded: oldest entries are evicted). *)
+val note_seen : recv -> int -> unit
+
+(** Whether [uid] was already delivered to [r] (a retransmitted or
+    NoC-duplicated copy). *)
+val seen_before : recv -> int -> bool
 
 type mem = {
   mem_tile : int;

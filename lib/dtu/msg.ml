@@ -2,6 +2,7 @@ type data = ..
 type data += Raw of bytes | Empty
 
 type t = {
+  uid : int;
   src_tile : int;
   src_act : Dtu_types.act_id;
   src_send_ep : int option;
@@ -13,9 +14,15 @@ type t = {
 
 let header_bytes = 16
 
+(* Wire-level sequence number: retransmitted copies of one logical message
+   share a uid, so receivers can deduplicate.  Only equality of uids is
+   ever observed, so allocation order does not leak into simulated time. *)
+let next_uid = ref 0
+
 let make ~src_tile ~src_act ?src_send_ep ?(label = 0) ?reply_to ~size data =
   if size < 0 then invalid_arg "Msg.make: negative size";
-  { src_tile; src_act; src_send_ep; label; reply_to; size; data }
+  incr next_uid;
+  { uid = !next_uid; src_tile; src_act; src_send_ep; label; reply_to; size; data }
 
 let pp fmt t =
   Format.fprintf fmt "msg[from t%d/%a label=%d size=%d%s]" t.src_tile

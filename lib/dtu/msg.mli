@@ -11,6 +11,9 @@ type data = ..
 type data += Raw of bytes | Empty
 
 type t = {
+  uid : int;
+      (** wire-level sequence number; retransmitted copies share it, so
+          receivers can deduplicate.  Only compared for equality. *)
   src_tile : int;
   src_act : Dtu_types.act_id;
   src_send_ep : int option;  (** for credit return; [None] for replies *)

@@ -1,0 +1,89 @@
+(** Deterministic fault injection ("chaos") layer.
+
+    A fault plan combines a {!spec} — NoC drop/duplicate/delay rates, DTU
+    command glitch rate, and crash/hang budgets for activities — with a
+    dedicated {!M3v_sim.Rng} stream.  Installed process-globally (like the
+    trace sink), it is consulted by the NoC, the DTU and TileMux at
+    injection points.  Decisions are drawn in simulation order, so a given
+    spec and seed reproduce the same fault schedule exactly.
+
+    Fault model: only the {e data plane} (message, reply and DMA packets)
+    is best-effort; the control sideband (completion acks, credit returns,
+    kernel wires) is lossless.  A send timeout therefore implies the
+    message never occupied a receive slot, making the DTU's
+    refund-credit-on-timeout recovery credit-safe.
+
+    When no plan is installed, every hook short-circuits on one boolean
+    load — runs without [--faults] are bit-identical to a build without
+    this library. *)
+
+type spec = {
+  drop : float;  (** per-data-packet drop probability *)
+  dup : float;  (** per-data-packet duplication probability *)
+  delay : float;  (** per-data-packet extra-delay probability *)
+  delay_ps : int;  (** max injected delay, ps (uniform in [1, delay_ps]) *)
+  cmd_fail : float;  (** transient DTU command failure probability *)
+  crash : int;  (** total activity crashes to inject *)
+  crash_p : float;  (** per-TMCall-boundary crash probability *)
+  hang : int;  (** total activity hangs to inject *)
+  hang_p : float;  (** per-TMCall-boundary hang probability *)
+}
+
+(** All rates and budgets zero. *)
+val none : spec
+
+(** Parse a ["drop=0.01,dup=0.005,crash=2"]-style spec string.  Unset keys
+    keep their {!none} defaults. *)
+val parse : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable cmd_glitches : int;
+  mutable crashes_injected : int;
+  mutable hangs_injected : int;
+}
+
+type t
+
+val create : ?seed:int -> spec -> t
+val stats : t -> stats
+val spec : t -> spec
+
+(** {1 Global installation} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+
+(** [with_plan t f] runs [f] with [t] installed, uninstalling on return or
+    exception. *)
+val with_plan : t -> (unit -> 'a) -> 'a
+
+(** Whether a plan is installed.  Injection points and recovery machinery
+    (retransmit timers, watchdogs, RPC deadlines) check this first so the
+    fault-free fast path stays untouched. *)
+val on : unit -> bool
+
+(** Exempt activity [act] from crash/hang injection (e.g. the pager). *)
+val protect : t -> act:int -> unit
+
+(** {1 Decision hooks} — deterministic draws from the plan's RNG.  Each
+    injected fault is counted and emitted as a ["fault"] tracepoint. *)
+
+type noc_fate = Deliver | Drop | Duplicate | Delay of int
+
+(** Fate of one data-plane NoC packet. *)
+val noc_fate : now:int -> src:int -> dst:int -> noc_fate
+
+(** Whether a DTU command issue glitches transiently (the DTU retries). *)
+val cmd_fails : now:int -> tile:int -> bool
+
+type act_fate = Crash | Hang
+
+(** Fate of activity [act] at a TMCall boundary; [None] almost always. *)
+val act_fate : now:int -> tile:int -> act:int -> act_fate option
+
+val pp_stats : Format.formatter -> stats -> unit

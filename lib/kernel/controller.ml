@@ -24,6 +24,9 @@ type act = {
   caps : (int, Cap.t) Hashtbl.t;
   mutable next_sel : int;
   mutable alive : bool;
+  mutable exit_code : int option;  (* last reported exit code *)
+  mutable restarts : int;
+  mutable max_restarts : int;  (* 0 = not restartable *)
   mutable ep_list : int list;  (* endpoints allocated for this activity *)
   mutable syscall_eps : (int * int) option;
   (* M3x scheduling state *)
@@ -46,6 +49,9 @@ type stats = {
   mx_switches : int;
   mx_forwards : int;
   busy_ps : int;
+  crashes : int;
+  restarts : int;
+  credits_reclaimed : int;
 }
 
 type t = {
@@ -64,6 +70,7 @@ type t = {
   mx_stubs : (int, mx_stub) Hashtbl.t;
   mx_tiles : (int, mx_tile_state) Hashtbl.t;
   tm_rgates : (int, int) Hashtbl.t;  (* tile -> TileMux receive endpoint *)
+  restart_hooks : (int, act_id -> unit) Hashtbl.t;  (* tile -> respawn *)
   pending_maps : (int, Msg.t) Hashtbl.t;  (* map request id -> pager syscall *)
   mutable next_map_req : int;
   mutable busy : bool;
@@ -76,6 +83,7 @@ type t = {
 let syscall_cycles = 900
 let activate_extra_cycles = 300
 let revoke_per_cap_cycles = 250
+let restart_cycles = 2_000
 let mx_fwd_cycles = 1_150
 let mx_save_phase_cycles = 2_100
 let mx_restore_phase_cycles = 2_100
@@ -85,7 +93,16 @@ let ep_save_bytes_per_ep = 32
 (* The controller's syscall receive endpoint. *)
 let syscall_ep = 0
 
-let empty_stats = { syscalls = 0; mx_switches = 0; mx_forwards = 0; busy_ps = 0 }
+let empty_stats =
+  {
+    syscalls = 0;
+    mx_switches = 0;
+    mx_forwards = 0;
+    busy_ps = 0;
+    crashes = 0;
+    restarts = 0;
+    credits_reclaimed = 0;
+  }
 
 let find_act t aid =
   match Hashtbl.find_opt t.acts aid with
@@ -130,6 +147,9 @@ let host_new_act t ~tile ~name =
       caps = Hashtbl.create 16;
       next_sel = 0;
       alive = true;
+      exit_code = None;
+      restarts = 0;
+      max_restarts = 0;
       ep_list = [];
       syscall_eps = None;
       mx_blocked = false;
@@ -140,6 +160,13 @@ let host_new_act t ~tile ~name =
 
 let act_name t aid = (find_act t aid).name
 let act_tile t aid = (find_act t aid).a_tile
+let exit_code t aid = (find_act t aid).exit_code
+let restarts t aid = (find_act t aid).restarts
+
+let set_restartable t ~act ~max_restarts =
+  (find_act t act).max_restarts <- max_restarts
+
+let register_restart_hook t ~tile hook = Hashtbl.replace t.restart_hooks tile hook
 
 let host_alloc_ep_anon t ~tile =
   let ep = t.ep_next.(tile) in
@@ -435,6 +462,139 @@ let mx_notify_wake t ~act =
     mx_try_switch t a.a_tile ~k:(fun () -> ())
   end
 
+(* --- crash recovery (M3v) --- *)
+
+(* Reclaim send credits held against the dead activity's receive gates at
+   every peer DTU.  The receiver will never return them; restoring the
+   peers' full budgets lets them keep talking (to a restarted instance, or
+   to observe EOF from an invalidated gate) instead of starving on credits
+   that are gone for good. *)
+let reclaim_credits_for t (a : act) ~k =
+  let recv_eps =
+    Hashtbl.fold
+      (fun (tile, ep) owner acc ->
+        if owner = a.aid then (tile, ep) :: acc else acc)
+      t.ep_owners []
+  in
+  let tiles = Platform.processing_tiles t.platform @ [ t.tile ] in
+  let rec per_ep = function
+    | [] -> k ()
+    | (dst_tile, dst_ep) :: rest ->
+        let reclaimed =
+          List.fold_left
+            (fun acc tile ->
+              acc
+              + Dtu.ext_reclaim_credits
+                  (Platform.dtu t.platform tile)
+                  ~dst_tile ~dst_ep)
+            0 tiles
+        in
+        if reclaimed > 0 then begin
+          t.stats <-
+            {
+              t.stats with
+              credits_reclaimed = t.stats.credits_reclaimed + reclaimed;
+            };
+          if Trace.on () then
+            Trace.instant ~cat:"kernel" ~name:"credits_reclaimed" ~tile:t.tile
+              ~act:a.aid ~ts:(Engine.now t.engine)
+              ~args:[ ("ep", Trace.I dst_ep); ("credits", Trace.I reclaimed) ]
+              ()
+        end;
+        charge t revoke_per_cap_cycles (fun () -> per_ep rest)
+  in
+  per_ep recv_eps
+
+(* Full cleanup of a crashed (or exited) activity that will not come back:
+   revoke every capability it still owns (cascading into anything derived
+   from them), reclaim orphaned send credits at its peers, and invalidate
+   all of its endpoints — partners' subsequent sends observe [Recv_gone]
+   and surface it as EOF. *)
+let teardown_act t (a : act) ~k =
+  let root_caps =
+    Hashtbl.fold (fun _ c acc -> if c.Cap.live then c :: acc else acc) a.caps []
+  in
+  let revoked_eps =
+    List.concat_map
+      (fun c ->
+        let killed, eps = Cap.revoke c in
+        List.iter
+          (fun (c : Cap.t) ->
+            match Hashtbl.find_opt t.acts c.Cap.owner with
+            | Some owner -> Hashtbl.remove owner.caps c.Cap.sel
+            | None -> ())
+          killed;
+        eps)
+      root_caps
+  in
+  reclaim_credits_for t a ~k:(fun () ->
+      let own = List.map (fun ep -> (a.a_tile, ep)) a.ep_list in
+      let rec invalidate = function
+        | [] ->
+            a.ep_list <- [];
+            a.syscall_eps <- None;
+            k ()
+        | (tile, ep) :: rest ->
+            charge t revoke_per_cap_cycles (fun () ->
+                ext_round_trip t ~dst:tile ~bytes:32
+                  ~apply:(fun () ->
+                    Dtu.ext_invalidate (Platform.dtu t.platform tile) ~ep;
+                    Hashtbl.remove t.ep_owners (tile, ep))
+                  ~k:(fun () -> invalidate rest))
+      in
+      invalidate (revoked_eps @ own))
+
+(* Policy for a nonzero exit code: restart the activity in place if it is
+   marked restartable and has budget left (its endpoints, capabilities and
+   pending requests survive), otherwise tear it down. *)
+let handle_crash t (a : act) ~code ~k =
+  t.stats <- { t.stats with crashes = t.stats.crashes + 1 };
+  if Trace.on () then
+    Trace.instant ~cat:"kernel" ~name:"act_crash" ~tile:t.tile ~act:a.aid
+      ~ts:(Engine.now t.engine)
+      ~args:[ ("act", Trace.S a.name); ("code", Trace.I code) ]
+      ();
+  match Hashtbl.find_opt t.restart_hooks a.a_tile with
+  | Some hook when a.restarts < a.max_restarts ->
+      a.restarts <- a.restarts + 1;
+      a.alive <- true;
+      a.exit_code <- None;
+      t.stats <- { t.stats with restarts = t.stats.restarts + 1 };
+      if Trace.on () then
+        Trace.instant ~cat:"kernel" ~name:"act_restart" ~tile:t.tile ~act:a.aid
+          ~ts:(Engine.now t.engine)
+          ~args:[ ("act", Trace.S a.name); ("try", Trace.I a.restarts) ]
+          ();
+      (* Requests the dead incarnation fetched but never answered leave
+         their senders' credits and receive slots orphaned, exactly as a
+         permanent death would — reclaim both, or a client blocks forever
+         in send while retrying against the restarted instance.  Requests
+         still queued survive and are served after the restart. *)
+      reclaim_credits_for t a ~k:(fun () ->
+          charge t restart_cycles (fun () ->
+              ext_round_trip t ~dst:a.a_tile ~bytes:32
+                ~apply:(fun () ->
+                  let dtu = Platform.dtu t.platform a.a_tile in
+                  List.iter
+                    (fun ep -> ignore (Dtu.ext_release_fetched dtu ~ep))
+                    a.ep_list;
+                  (* Flush syscall replies the dead incarnation never
+                     consumed: they would otherwise pair with the
+                     successor's first syscall. *)
+                  (match a.syscall_eps with
+                  | Some (_, reply_ep) ->
+                      let n = Dtu.ext_drain_recv dtu ~ep:reply_ep in
+                      if n > 0 && Trace.on () then
+                        Trace.instant ~cat:"kernel"
+                          ~name:"stale_sys_replies_flushed" ~tile:t.tile
+                          ~act:a.aid ~ts:(Engine.now t.engine)
+                          ~args:[ ("count", Trace.I n) ]
+                          ()
+                  | None -> ());
+                  hook a.aid)
+                ~k))
+  | Some _ | None -> teardown_act t a ~k
+
 (* --- syscall handling --- *)
 
 let reply_sys t msg rep =
@@ -445,8 +605,22 @@ let reply_sys t msg rep =
 let handle_sys t (msg : Msg.t) req ~k =
   t.stats <- { t.stats with syscalls = t.stats.syscalls + 1 };
   let requester = find_act t msg.Msg.label in
+  let incarnation = requester.restarts in
   let finish rep =
-    reply_sys t msg rep;
+    (* The requester may have crashed while this syscall was in flight; a
+       reply sent now would sit in the reply gate until the restarted
+       incarnation's first syscall pairs with it (and acts on a stale
+       [Ok_ep]/[Ok_sel]).  Drop the reply instead, but still free the
+       request's slot and return its send credit — the successor reuses
+       the same syscall channel. *)
+    if requester.alive && requester.restarts = incarnation then
+      reply_sys t msg rep
+    else begin
+      ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
+      if Trace.on () then
+        Trace.instant ~cat:"kernel" ~name:"stale_sys_reply_dropped" ~tile:t.tile
+          ~act:requester.aid ~ts:(Engine.now t.engine) ()
+    end;
     k ()
   in
   match req with
@@ -563,8 +737,8 @@ let handle_sys t (msg : Msg.t) req ~k =
                   reply_sys t msg (Protocol.Sys_err "TileMux gate full"));
               k ()))
   | Protocol.Act_exit { code } ->
-      ignore code;
       requester.alive <- false;
+      requester.exit_code <- Some code;
       (* One-way: the activity is gone, nobody to reply to. *)
       ignore (Dtu.ack t.dtu ~ep:syscall_ep msg);
       (match t.mode with
@@ -572,6 +746,7 @@ let handle_sys t (msg : Msg.t) req ~k =
           let st = mx_tile_state t requester.a_tile in
           if st.cur = Some requester.aid then st.cur <- None;
           mx_try_switch t requester.a_tile ~k
+      | M3v when code <> 0 -> handle_crash t requester ~code ~k
       | M3x | M3v -> k ())
 
 let handle_tm_map_done t (msg : Msg.t) ~req_id ~k =
@@ -751,6 +926,7 @@ let create ~mode ~platform ~tile () =
       mx_stubs = Hashtbl.create 8;
       mx_tiles = Hashtbl.create 8;
       tm_rgates = Hashtbl.create 8;
+      restart_hooks = Hashtbl.create 8;
       pending_maps = Hashtbl.create 8;
       next_map_req = 0;
       busy = false;

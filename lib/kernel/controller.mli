@@ -92,6 +92,30 @@ val find_cap : t -> act:M3v_dtu.Dtu_types.act_id -> sel:int -> Cap.t option
 (** The owning activity of a receive endpoint, if known. *)
 val ep_owner : t -> tile:int -> ep:int -> M3v_dtu.Dtu_types.act_id option
 
+(** {1 Crash recovery (M3v)}
+
+    A nonzero [Act_exit] code is treated as a crash.  A restartable
+    activity (with budget left) is restarted in place through the tile's
+    registered restart hook — endpoints, capabilities and queued requests
+    survive.  Anything else is torn down: all of its capabilities are
+    revoked (cascading), orphaned send credits at peers are reclaimed, and
+    its endpoints are invalidated so partners observe [Recv_gone] (EOF). *)
+
+(** Last exit code the activity reported, if any ([None] while alive or
+    after a successful restart). *)
+val exit_code : t -> M3v_dtu.Dtu_types.act_id -> int option
+
+(** How many times the activity has been restarted. *)
+val restarts : t -> M3v_dtu.Dtu_types.act_id -> int
+
+(** Allow up to [max_restarts] in-place restarts after crashes (services). *)
+val set_restartable :
+  t -> act:M3v_dtu.Dtu_types.act_id -> max_restarts:int -> unit
+
+(** Register the per-tile restart hook (the M3v runtime's [respawn]). *)
+val register_restart_hook :
+  t -> tile:int -> (M3v_dtu.Dtu_types.act_id -> unit) -> unit
+
 (** Register the TileMux receive endpoint of a tile so the controller can
     forward mapping requests (paper, section 4.3). *)
 val register_tm_rgate : t -> tile:int -> ep:int -> unit
@@ -123,6 +147,9 @@ type stats = {
   mx_switches : int;
   mx_forwards : int;
   busy_ps : int;  (** total simulated time the controller core was busy *)
+  crashes : int;  (** nonzero exit codes handled *)
+  restarts : int;  (** in-place activity restarts performed *)
+  credits_reclaimed : int;  (** send credits recovered from dead receivers *)
 }
 
 val stats : t -> stats

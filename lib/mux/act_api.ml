@@ -30,7 +30,18 @@ let send ~ep ?reply_ep ?vaddr ~size data =
     (Op_send { s_ep = ep; s_reply_ep = reply_ep; s_vaddr = vaddr; s_size = size; s_data = data })
     (decode_unit "send")
 
-let recv ~eps = Proc.perform (Op_recv { r_eps = eps }) (decode_msg "recv")
+let recv ~eps =
+  Proc.perform (Op_recv { r_eps = eps; r_timeout = None }) (decode_msg "recv")
+
+(* Like [recv] but gives up after [timeout]: [None] means nothing arrived
+   (used by service clients to survive a crashed or wedged server). *)
+let recv_timeout ~eps ~timeout =
+  Proc.perform
+    (Op_recv { r_eps = eps; r_timeout = Some timeout })
+    (function
+      | R_msg (ep, m) -> Some (ep, m)
+      | R_recv_timeout -> None
+      | r -> Proc.decode_error "recv_timeout" r)
 let try_recv ~eps = Proc.perform (Op_try_recv { tr_eps = eps }) (decode_msg_opt "try_recv")
 
 let reply ~recv_ep ~msg ?vaddr ~size data =
@@ -76,12 +87,30 @@ let touch ?(off = 0) ?len ~write buf =
 let acct bucket = Proc.perform (Op_acct bucket) (decode_unit "acct")
 let log msg = Proc.perform (Op_log msg) (decode_unit "log")
 
+(* Finish the activity immediately with [code] (reported to the
+   controller, like a process exit status).  The continuation never
+   runs. *)
+let exit_with code : unit Proc.t =
+ fun _k -> Proc.Request (Op_exit code, fun _ -> Proc.Finished)
+
 let call ~sgate ~reply_ep ?vaddr ~size data =
   let open Proc.Syntax in
   let* () = send ~ep:sgate ~reply_ep ?vaddr ~size data in
   let* _ep, msg = recv ~eps:[ reply_ep ] in
   let* () = ack ~ep:reply_ep msg in
   Proc.return msg
+
+(* RPC with a reply deadline: [None] if the reply did not arrive in time
+   (the request may or may not have been processed). *)
+let call_timeout ~sgate ~reply_ep ?vaddr ~size ~timeout data =
+  let open Proc.Syntax in
+  let* () = send ~ep:sgate ~reply_ep ?vaddr ~size data in
+  let* r = recv_timeout ~eps:[ reply_ep ] ~timeout in
+  match r with
+  | None -> Proc.return None
+  | Some (_ep, msg) ->
+      let* () = ack ~ep:reply_ep msg in
+      Proc.return (Some msg)
 
 let syscall env req =
   let open Proc.Syntax in

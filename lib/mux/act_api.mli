@@ -30,6 +30,12 @@ val send :
 (** Wait for the next message on any of [eps]; returns (endpoint, message). *)
 val recv : eps:int list -> (int * M3v_dtu.Msg.t) Proc.t
 
+(** Like {!recv} but resolves to [None] if nothing arrived within
+    [timeout] (relative; M3v mode only).  Service clients use this to
+    survive a crashed or wedged server instead of blocking forever. *)
+val recv_timeout :
+  eps:int list -> timeout:Time.t -> (int * M3v_dtu.Msg.t) option Proc.t
+
 val try_recv : eps:int list -> (int * M3v_dtu.Msg.t) option Proc.t
 
 val reply :
@@ -70,6 +76,10 @@ val touch : ?off:int -> ?len:int -> write:bool -> Act_ops.buf -> unit Proc.t
 val acct : string -> unit Proc.t
 val log : string -> unit Proc.t
 
+(** Finish the activity immediately with an exit code (reported to the
+    controller, like a process exit status).  Never returns. *)
+val exit_with : int -> unit Proc.t
+
 (** A full RPC: send with [reply_ep], wait for the reply on it, acknowledge
     it, return the reply. *)
 val call :
@@ -79,6 +89,17 @@ val call :
   size:int ->
   M3v_dtu.Msg.data ->
   M3v_dtu.Msg.t Proc.t
+
+(** Like {!call} but with a reply deadline: [None] if the reply did not
+    arrive in time (the request may or may not have been processed). *)
+val call_timeout :
+  sgate:int ->
+  reply_ep:int ->
+  ?vaddr:int ->
+  size:int ->
+  timeout:Time.t ->
+  M3v_dtu.Msg.data ->
+  M3v_dtu.Msg.t option Proc.t
 
 (** Issue a system call to the controller and return its reply. *)
 val syscall : env -> M3v_kernel.Protocol.sys_req -> M3v_kernel.Protocol.sys_reply Proc.t

@@ -9,7 +9,7 @@ type M3v_sim.Proc.op +=
       s_size : int;
       s_data : M3v_dtu.Msg.data;
     }
-  | Op_recv of { r_eps : int list }
+  | Op_recv of { r_eps : int list; r_timeout : M3v_sim.Time.t option }
   | Op_try_recv of { tr_eps : int list }
   | Op_reply of {
       rp_recv_ep : int;
@@ -42,9 +42,11 @@ type M3v_sim.Proc.op +=
   | Op_touch of { t_vaddr : int; t_len : int; t_write : bool }
   | Op_acct of string
   | Op_log of string
+  | Op_exit of int
 
 type M3v_sim.Proc.resp +=
   | R_msg of int * M3v_dtu.Msg.t
   | R_msg_opt of (int * M3v_dtu.Msg.t) option
+  | R_recv_timeout
   | R_time of M3v_sim.Time.t
   | R_vaddr of int

@@ -20,7 +20,9 @@ type M3v_sim.Proc.op +=
       s_size : int;
       s_data : M3v_dtu.Msg.data;
     }
-  | Op_recv of { r_eps : int list }  (** fetch next message or block *)
+  | Op_recv of { r_eps : int list; r_timeout : M3v_sim.Time.t option }
+      (** fetch next message or block; with a timeout (relative, M3v mode
+          only) the wait resolves to [R_recv_timeout] if nothing arrived *)
   | Op_try_recv of { tr_eps : int list }
   | Op_reply of {
       rp_recv_ep : int;
@@ -54,9 +56,11 @@ type M3v_sim.Proc.op +=
       (** touch pages with the core (page faults on unmapped pages) *)
   | Op_acct of string  (** switch the accounting bucket of charged time *)
   | Op_log of string
+  | Op_exit of int  (** finish the activity with this exit code *)
 
 type M3v_sim.Proc.resp +=
   | R_msg of int * M3v_dtu.Msg.t  (** endpoint it arrived on, message *)
   | R_msg_opt of (int * M3v_dtu.Msg.t) option
+  | R_recv_timeout  (** a deadlined [Op_recv] expired with no message *)
   | R_time of M3v_sim.Time.t
   | R_vaddr of int

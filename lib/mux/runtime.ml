@@ -11,6 +11,7 @@ module Platform = M3v_tile.Platform
 module Controller = M3v_kernel.Controller
 module Proto = M3v_kernel.Protocol
 module Trace = M3v_obs.Trace
+module Fault = M3v_fault.Fault
 open Dtu_types
 open Act_ops
 
@@ -45,6 +46,8 @@ type arec = {
   mutable started : bool;
   mutable wake_sent : bool;  (** M3x: an Mx_wake is outstanding *)
   mutable stall_since : Time.t;
+  mutable wait_token : int;
+      (** invalidates stale recv-deadline timers (fault injection) *)
 }
 
 type t = {
@@ -71,6 +74,9 @@ type t = {
   counters : Stats.Counter.t;
   mutable mux_busy_ps : int;
   mutable run_since : Time.t;  (** when the current activity got the core *)
+  mutable wd_epoch : int;
+      (** dispatch epoch; invalidates stale watchdog timers (fault
+          injection) *)
 }
 
 let mode t = t.rmode
@@ -189,12 +195,15 @@ and do_dispatch t =
                    | Some _ | None -> ());
                 a.slice_left <- t.timeslice;
                 note_run_start t;
+                arm_watchdog t a;
                 resume_act t a)
         | Running | Stalled | Blocked_recv | Blocked_fault | Polling | Dead ->
             (* Stale queue entry; try the next one. *)
             do_dispatch t)
 
 and resume_act t (a : arec) =
+  (* Any resume invalidates a pending recv-deadline timer for this wait. *)
+  a.wait_token <- a.wait_token + 1;
   if not a.started then begin
     a.started <- true;
     exec t a (Proc.run (a.program a.env))
@@ -290,19 +299,25 @@ and tm_rpc_now t data ~size ~on_reply =
       charge_mux t
         ((2 * t.core.Core_model.mmio_cycles) + Core_model.cmd_overhead_cycles t.core)
         (fun () ->
-          let prev, _ = Dtu.switch_act t.dtu ~next:tilemux_act in
-          Dtu.send t.dtu ~ep:sgate ~reply_ep:t.tm_rgate ~msg_size:size data
-            ~k:(fun result ->
-              (match result with
-              | Ok () -> ()
-              | Error e ->
-                  failwith
-                    ("Runtime: TileMux -> pager send failed: "
-                    ^ Dtu_types.error_to_string e));
-              ());
-          (* The send command is short; switch straight back so the
-             scheduled activity's endpoints are visible again. *)
-          ignore (Dtu.switch_act t.dtu ~next:prev))
+          let rec attempt () =
+            let prev, _ = Dtu.switch_act t.dtu ~next:tilemux_act in
+            Dtu.send t.dtu ~ep:sgate ~reply_ep:t.tm_rgate ~msg_size:size data
+              ~k:(fun result ->
+                match result with
+                | Ok () -> ()
+                | Error Timeout ->
+                    (* Fault injection lost the RPC on the wire (credit
+                       refunded): reissue it. *)
+                    Engine.after t.engine ~delay:(Time.us 2) attempt
+                | Error e ->
+                    failwith
+                      ("Runtime: TileMux -> pager send failed: "
+                      ^ Dtu_types.error_to_string e));
+            (* The send command is short; switch straight back so the
+               scheduled activity's endpoints are visible again. *)
+            ignore (Dtu.switch_act t.dtu ~next:prev)
+          in
+          attempt ())
 
 and tm_pump t =
   match Queue.take_opt t.tm_queue with
@@ -375,8 +390,9 @@ and send_ctl t (a : arec) data ~k =
           ~k:(fun result ->
             match result with
             | Ok () -> k ()
-            | Error (No_credits | Recv_gone) ->
-                (* Controller busy: retry shortly (the sender spins). *)
+            | Error (No_credits | Recv_gone | Timeout) ->
+                (* Controller busy — or, under fault injection, the wire
+                   timed out (credit already refunded): retry shortly. *)
                 Engine.after t.engine ~delay:(Time.us 2) attempt
             | Error e ->
                 failwith
@@ -420,8 +436,12 @@ and mx_slow_reply t (a : arec) ~(to_msg : Msg.t) ~size ~data ~k =
 
 (* --- activity exit --- *)
 
-and act_finished t (a : arec) =
-  send_ctl t a (Proto.Sys (Proto.Act_exit { code = 0 })) ~k:(fun () ->
+and act_finished t (a : arec) ~code =
+  if Trace.on () then
+    Trace.instant ~cat:"mux" ~name:"act_exit" ~tile:t.rtile ~act:a.aid
+      ~ts:(Engine.now t.engine)
+      ~args:[ ("act", Trace.S a.aname); ("code", Trace.I code) ] ();
+  send_ctl t a (Proto.Sys (Proto.Act_exit { code })) ~k:(fun () ->
       a.st <- Dead;
       Dtu.tlb_invalidate_act t.dtu a.aid;
       if t.current = Some a.aid then begin
@@ -429,6 +449,38 @@ and act_finished t (a : arec) =
         t.current <- None;
         if t.rmode = M3v_mode then schedule_dispatch t
       end)
+
+(* --- watchdog (fault injection only) ---
+
+   TileMux's time-slice timer doubles as a liveness monitor: if the
+   current activity has held the core for several slices without charging
+   a single cycle, it is wedged (an injected hang) and is reaped with the
+   conventional SIGKILL-style code 137.  A [Stalled] activity is waiting
+   on a DTU command — the DTU's own retransmit ladder owns that case, so
+   the watchdog only re-arms.  It never re-arms on [Polling]: the poll
+   wake-up rearms, and a timer chain under an idle poller would keep the
+   engine queue non-empty forever. *)
+
+and arm_watchdog t (a : arec) =
+  if t.rmode = M3v_mode && Fault.on () then begin
+    t.wd_epoch <- t.wd_epoch + 1;
+    let epoch = t.wd_epoch and aid = a.aid and busy0 = a.busy_ps in
+    Engine.after t.engine ~delay:(8 * t.timeslice) (fun () ->
+        watchdog_fire t ~aid ~epoch ~busy0)
+  end
+
+and watchdog_fire t ~aid ~epoch ~busy0 =
+  if t.wd_epoch = epoch && t.current = Some aid then
+    match Hashtbl.find_opt t.acts aid with
+    | None -> ()
+    | Some a -> (
+        match a.st with
+        | Running when a.busy_ps = busy0 ->
+            Stats.Counter.incr t.counters "watchdog_kill";
+            mux_instant t "watchdog_kill";
+            act_finished t a ~code:137
+        | Running | Stalled -> arm_watchdog t a
+        | Ready | Blocked_recv | Blocked_fault | Polling | Dead -> ())
 
 (* --- the interpreter --- *)
 
@@ -441,10 +493,22 @@ and exec t (a : arec) (action : Proc.action) =
   else exec_steps t a action
 
 and exec_steps t (a : arec) = function
-  | Proc.Finished -> act_finished t a
+  | Proc.Finished -> act_finished t a ~code:0
   | Proc.Request (op, k) -> interp t a op (fun resp -> exec t a (k resp))
 
 and interp t (a : arec) op (k : Proc.resp -> unit) =
+  (* Every TMCall boundary is a crash/hang injection point. *)
+  if Fault.on () then
+    match Fault.act_fate ~now:(Engine.now t.engine) ~tile:t.rtile ~act:a.aid with
+    | Some Fault.Crash -> act_finished t a ~code:139
+    | Some Fault.Hang ->
+        (* The activity wedges mid-call: nothing continues it.  The
+           watchdog detects the frozen core occupancy and reaps it. *)
+        ()
+    | None -> interp_op t a op k
+  else interp_op t a op k
+
+and interp_op t (a : arec) op (k : Proc.resp -> unit) =
   match op with
   | Op_compute cycles -> compute_chunks t a cycles k
   | Op_memcpy bytes -> compute_chunks t a (Core_model.memcpy_cycles t.core bytes) k
@@ -494,7 +558,15 @@ and interp t (a : arec) op (k : Proc.resp -> unit) =
   | Op_try_recv { tr_eps } ->
       charge_act t a (fetch_cost t tr_eps) (fun () ->
           k (R_msg_opt (fetch_first t tr_eps)))
-  | Op_recv { r_eps } -> recv_loop t a r_eps k
+  | Op_recv { r_eps; r_timeout } ->
+      let deadline =
+        match r_timeout with
+        | Some d when t.rmode = M3v_mode && Fault.on () ->
+            Some (Time.add (Engine.now t.engine) d)
+        | Some _ | None -> None
+      in
+      recv_loop t a ?deadline r_eps k
+  | Op_exit code -> act_finished t a ~code
   | Op_mem_read { mr_ep; mr_off; mr_len; mr_vaddr; mr_dst; mr_dst_off } ->
       do_dma t a ~write:false ~ep:mr_ep ~off:mr_off ~len:mr_len ~vaddr:mr_vaddr
         ~buf:mr_dst ~buf_off:mr_dst_off ~k
@@ -572,11 +644,22 @@ and fetch_first t eps =
   in
   try_eps eps
 
-and recv_loop t (a : arec) eps k =
+and recv_loop t (a : arec) ?deadline eps k =
   charge_act t a (fetch_cost t eps) (fun () ->
       match fetch_first t eps with
       | Some (ep, msg) -> k (R_msg (ep, msg))
-      | None -> (
+      | None ->
+          let expired =
+            match deadline with
+            | Some d -> Engine.now t.engine >= d
+            | None -> false
+          in
+          if expired then begin
+            Stats.Counter.incr t.counters "recv_timeout";
+            mux_instant t "recv_timeout";
+            k R_recv_timeout
+          end
+          else (
           match t.rmode with
           | M3v_mode ->
               if others_ready t then
@@ -584,7 +667,8 @@ and recv_loop t (a : arec) eps k =
                 charge_act t a t.core.Core_model.trap_cycles (fun () ->
                     a.st <- Blocked_recv;
                     a.wait_eps <- eps;
-                    a.resume <- Some (fun () -> recv_loop t a eps k);
+                    a.resume <- Some (fun () -> recv_loop t a ?deadline eps k);
+                    arm_recv_deadline t a ?deadline ();
                     mux_instant t "block";
                     note_run_end t a ~why:"block";
                     t.current <- None;
@@ -596,7 +680,8 @@ and recv_loop t (a : arec) eps k =
                 Stats.Counter.incr t.counters "poll";
                 a.st <- Polling;
                 a.wait_eps <- eps;
-                a.resume <- Some (fun () -> recv_loop t a eps k)
+                a.resume <- Some (fun () -> recv_loop t a ?deadline eps k);
+                arm_recv_deadline t a ?deadline ()
               end
           | M3x_mode ->
               if Hashtbl.length t.acts = 1 then begin
@@ -617,6 +702,33 @@ and recv_loop t (a : arec) eps k =
                 send_ctl t a Proto.Mx_block ~k:(fun () -> ())
               end))
 
+(* Wake a deadlined receiver if nothing arrived in time.  The token
+   pins the timer to this particular wait: any resume bumps it, turning
+   stale timers into no-ops.  On expiry the stored resume re-runs
+   [recv_loop], which re-checks the endpoints (a message that raced the
+   deadline still wins) before resolving to [R_recv_timeout]. *)
+and arm_recv_deadline t (a : arec) ?deadline () =
+  match deadline with
+  | None -> ()
+  | Some d ->
+      let token = a.wait_token and aid = a.aid in
+      let delay = max 0 (Time.sub d (Engine.now t.engine)) in
+      Engine.after t.engine ~delay (fun () ->
+          match Hashtbl.find_opt t.acts aid with
+          | Some a when a.wait_token = token -> (
+              match a.st with
+              | Blocked_recv ->
+                  make_ready t a;
+                  schedule_dispatch t
+              | Polling when t.current = Some aid ->
+                  Stats.Counter.incr t.counters "poll_wake";
+                  a.st <- Running;
+                  arm_watchdog t a;
+                  charge_act t a (2 * t.core.Core_model.mmio_cycles) (fun () ->
+                      resume_act t a)
+              | Ready | Running | Stalled | Blocked_fault | Polling | Dead -> ())
+          | Some _ | None -> ())
+
 and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
   charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
       let rec attempt () =
@@ -635,6 +747,14 @@ and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
                 Engine.after t.engine ~delay:(Time.us 2) attempt
             | Error Recv_gone when t.rmode = M3x_mode ->
                 mx_slow_send t a ~ep ~reply_ep ~size ~data ~k:(fun () -> k Proc.Unit)
+            | Error (Recv_gone | Timeout) when t.rmode = M3v_mode && Fault.on () ->
+                (* The peer died or the wire gave up: EOF semantics — the
+                   send is dropped and the program carries on (it observes
+                   the failure at the protocol level, e.g. a reply
+                   deadline). *)
+                Stats.Counter.incr t.counters "send_eof";
+                mux_instant t "send_eof";
+                k Proc.Unit
             | Error e ->
                 failwith ("Runtime: send failed: " ^ Dtu_types.error_to_string e))
       in
@@ -655,6 +775,11 @@ and do_reply t (a : arec) ~recv_ep ~msg ~vaddr ~size ~data ~k =
                 tm_translate t a ~vpage ~write:false ~k:attempt
             | Error Recv_gone when t.rmode = M3x_mode ->
                 mx_slow_reply t a ~to_msg:msg ~size ~data ~k:(fun () -> k Proc.Unit)
+            | Error (Recv_gone | Timeout) when t.rmode = M3v_mode && Fault.on () ->
+                (* Replying to a dead client: drop it (EOF semantics). *)
+                Stats.Counter.incr t.counters "send_eof";
+                mux_instant t "send_eof";
+                k Proc.Unit
             | Error e ->
                 failwith ("Runtime: reply failed: " ^ Dtu_types.error_to_string e))
       in
@@ -672,6 +797,10 @@ and do_dma t (a : arec) ~write ~ep ~off ~len ~vaddr ~buf ~buf_off ~k =
           | Ok () -> k Proc.Unit
           | Error (Translation_fault vpage) ->
               tm_translate t a ~vpage ~write:(not write) ~k:attempt
+          | Error Timeout ->
+              (* The DTU's retransmit ladder gave up on this transfer;
+                 reissue the whole (idempotent) command. *)
+              attempt ()
           | Error e ->
               failwith
                 (Printf.sprintf
@@ -699,6 +828,7 @@ let on_msg_arrived t owner =
         Stats.Counter.incr t.counters "poll_wake";
         mux_instant t "wake";
         a.st <- Running;
+        arm_watchdog t a;
         (* Detecting the message costs a couple of MMIO reads. *)
         charge_act t a (2 * t.core.Core_model.mmio_cycles) (fun () ->
             resume_act t a)
@@ -729,6 +859,30 @@ let on_core_req_irq t =
               end)
       | Running | Stalled | Ready | Blocked_recv | Blocked_fault | Dead ->
           t.irq_pending <- true)
+
+(* --- crash recovery: restart a dead service activity --- *)
+
+(* Re-run a dead activity's program from the top on the same activity id.
+   Its endpoints, capabilities and address space are untouched — service
+   programs capture their gates by reference, so requests already sitting
+   in the receive gate are processed after the restart.  Invoked by the
+   controller's restart policy. *)
+let respawn t ~act =
+  let a = find t act in
+  if a.st <> Dead then
+    invalid_arg
+      (Printf.sprintf "Runtime.respawn: activity %s is not dead" a.aname);
+  a.st <- Ready;
+  a.resume <- None;
+  a.wait_eps <- [];
+  a.slice_left <- t.timeslice;
+  a.started <- false;
+  a.wake_sent <- false;
+  a.wait_token <- a.wait_token + 1;
+  Stats.Counter.incr t.counters "respawn";
+  mux_instant t "respawn";
+  Queue.add a.aid t.runq;
+  if t.rmode = M3v_mode then schedule_dispatch t
 
 (* --- M3x stub --- *)
 
@@ -821,11 +975,16 @@ let create ~mode ~controller ~tile ?(timeslice = Time.ms 1) () =
       counters = Stats.Counter.create ();
       mux_busy_ps = 0;
       run_since = Time.zero;
+      wd_epoch = 0;
     }
   in
   Dtu.set_msg_arrived dtu (fun owner -> on_msg_arrived t owner);
   Dtu.set_core_req_irq dtu (fun () -> on_core_req_irq t);
-  if mode = M3x_mode then install_mx_stub t;
+  (match mode with
+  | M3x_mode -> install_mx_stub t
+  | M3v_mode ->
+      Controller.register_restart_hook controller ~tile (fun act ->
+          respawn t ~act));
   t
 
 let spawn t ~name ?(premap = true) ~program () =
@@ -851,6 +1010,7 @@ let spawn t ~name ?(premap = true) ~program () =
       started = false;
       wake_sent = false;
       stall_since = Time.zero;
+      wait_token = 0;
     }
   in
   Hashtbl.replace t.acts aid a;

@@ -62,6 +62,12 @@ val set_pager_sgate : t -> int -> unit
     register with the controller's remote scheduler and kick it). *)
 val boot : t -> unit
 
+(** Restart a dead activity's program from the top on the same activity
+    id (controller crash-recovery policy).  Endpoints, capabilities and
+    address space are untouched; requests already queued in its receive
+    gates are processed after the restart. *)
+val respawn : t -> act:M3v_dtu.Dtu_types.act_id -> unit
+
 (** Whether an activity has finished. *)
 val finished : t -> M3v_dtu.Dtu_types.act_id -> bool
 

@@ -1,6 +1,13 @@
 module Engine = M3v_sim.Engine
 module Time = M3v_sim.Time
 module Trace = M3v_obs.Trace
+module Fault = M3v_fault.Fault
+
+(* Data-plane packets (DTU messages, replies, DMA bursts) are best-effort
+   under fault injection; Control packets (completion acks, credit
+   returns, kernel wires) ride the lossless sideband and are never
+   faulted. *)
+type kind = Data | Control
 
 type params = {
   flit_bytes : int;
@@ -74,7 +81,9 @@ let uncontended_latency t ~src ~dst ~bytes =
     let hops = List.length route in
     (hops * t.params.hop_latency_ps) + (flits * t.params.ps_per_flit)
 
-let send t ~src ~dst ~bytes ~on_delivered =
+(* One physical copy of a packet: route it, account link occupancy, and
+   schedule [on_delivered] at arrival (+[extra] injected delay). *)
+let send_one t ~src ~dst ~bytes ~extra ~on_delivered =
   let now = Engine.now t.engine in
   let flits = flits_of_bytes t bytes in
   let arrival =
@@ -83,6 +92,7 @@ let send t ~src ~dst ~bytes ~on_delivered =
       let route = Topology.route t.topo ~src ~dst in
       transfer_time t ~record:true ~start:now route flits
   in
+  let arrival = Time.add arrival extra in
   t.stats <-
     {
       t.stats with
@@ -108,6 +118,21 @@ let send t ~src ~dst ~bytes ~on_delivered =
     Trace.latency_int "noc/queueing" queue_ps
   end;
   Engine.at t.engine ~time:arrival on_delivered
+
+let send ?(kind = Control) t ~src ~dst ~bytes ~on_delivered =
+  if kind = Control || not (Fault.on ()) then
+    send_one t ~src ~dst ~bytes ~extra:0 ~on_delivered
+  else
+    match Fault.noc_fate ~now:(Engine.now t.engine) ~src ~dst with
+    | Fault.Deliver -> send_one t ~src ~dst ~bytes ~extra:0 ~on_delivered
+    | Fault.Drop ->
+        (* The packet still occupies the route before it is lost. *)
+        send_one t ~src ~dst ~bytes ~extra:0 ~on_delivered:(fun () -> ())
+    | Fault.Duplicate ->
+        (* Both copies arrive; the receiver deduplicates by message uid. *)
+        send_one t ~src ~dst ~bytes ~extra:0 ~on_delivered;
+        send_one t ~src ~dst ~bytes ~extra:0 ~on_delivered
+    | Fault.Delay extra -> send_one t ~src ~dst ~bytes ~extra ~on_delivered
 
 let stats t = t.stats
 let reset_stats t = t.stats <- empty_stats

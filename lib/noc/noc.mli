@@ -21,6 +21,12 @@ val default_params : params
 
 type t
 
+(** Fault-injection class of a packet.  [Data] packets (DTU messages,
+    replies, DMA bursts) are best-effort when a fault plan is installed;
+    [Control] packets (completion acks, credit returns, kernel wires)
+    model the lossless credit-managed sideband and are never faulted. *)
+type kind = Data | Control
+
 type stats = {
   packets : int;
   payload_bytes : int;
@@ -34,8 +40,17 @@ val params : t -> params
 
 (** [send t ~src ~dst ~bytes ~on_delivered] injects a [bytes]-byte packet at
     the current time and schedules [on_delivered] at the arrival time.
-    [src = dst] models a DTU-internal loopback with a small fixed cost. *)
-val send : t -> src:int -> dst:int -> bytes:int -> on_delivered:(unit -> unit) -> unit
+    [src = dst] models a DTU-internal loopback with a small fixed cost.
+    [kind] defaults to [Control] (lossless); callers must mark data-plane
+    packets [Data] explicitly to make them eligible for fault injection. *)
+val send :
+  ?kind:kind ->
+  t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  on_delivered:(unit -> unit) ->
+  unit
 
 (** Pure estimate of an uncontended transfer's latency, used by cost
     accounting and tests. *)

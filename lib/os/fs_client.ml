@@ -3,6 +3,7 @@ module Proc = M3v_sim.Proc
 module A = M3v_mux.Act_api
 module Proto = M3v_kernel.Protocol
 module Msg = M3v_dtu.Msg
+module Fault = M3v_fault.Fault
 open Fs_proto
 
 type window = {
@@ -26,20 +27,93 @@ type t = {
   fds : (int, fd_state) Hashtbl.t;
   mutable ep_fd : int;  (** which fd's extent the data endpoint holds *)
   mutable switches : int;
+  mutable seq : int;  (** request tag counter (stale-reply detection) *)
 }
 
 let create ~env ~sgate ~reply_ep ~data_ep =
-  { env; sgate; reply_ep; data_ep; fds = Hashtbl.create 8; ep_fd = -1; switches = 0 }
+  {
+    env;
+    sgate;
+    reply_ep;
+    data_ep;
+    fds = Hashtbl.create 8;
+    ep_fd = -1;
+    switches = 0;
+    seq = 0;
+  }
 
 let extent_switches t = t.switches
 
-let rpc t req =
-  let* msg =
-    A.call ~sgate:t.sgate ~reply_ep:t.reply_ep ~size:(req_size req) (Fs req)
-  in
+(* Per-attempt reply deadline under fault injection: generous relative to
+   the DTU's own retransmit budget, so it only trips when the server is
+   really gone (crashed and not yet restarted, or wedged). *)
+let rpc_timeout = M3v_sim.Time.ms 8
+let rpc_attempts = 3
+
+(* Drop stale replies (from a timed-out attempt, or addressed to a
+   pre-crash incarnation of this client) so a retried request cannot pair
+   with an old response. *)
+let rec drain_replies t =
+  let* m = A.try_recv ~eps:[ t.reply_ep ] in
+  match m with
+  | None -> Proc.return ()
+  | Some (_ep, msg) ->
+      let* () = A.ack ~ep:t.reply_ep msg in
+      drain_replies t
+
+let decode_reply ~tag (msg : Msg.t) =
   match msg.Msg.data with
-  | Fs_rep rep -> Proc.return rep
+  | Fs_rep (tag', rep) when tag' = tag -> rep
+  | Fs_rep _ -> failwith "Fs_client: reply tag mismatch"
   | _ -> failwith "Fs_client: malformed reply"
+
+let rpc t req =
+  t.seq <- t.seq + 1;
+  let tag = t.seq in
+  if not (Fault.on ()) then
+    let* msg =
+      A.call ~sgate:t.sgate ~reply_ep:t.reply_ep ~size:(req_size req)
+        (Fs (tag, req))
+    in
+    Proc.return (decode_reply ~tag msg)
+  else
+    (* Under fault injection the server may have crashed: bound every wait
+       and retry a few times before surfacing EIO instead of blocking
+       forever. *)
+    let rec attempt n =
+      let* r =
+        A.call_timeout ~sgate:t.sgate ~reply_ep:t.reply_ep
+          ~size:(req_size req) ~timeout:rpc_timeout (Fs (tag, req))
+      in
+      check r n
+    and check r n =
+      match r with
+      | None ->
+          if n >= rpc_attempts then Proc.return (R_err "EIO")
+          else
+            let* () = drain_replies t in
+            attempt (n + 1)
+      | Some msg -> (
+          match msg.Msg.data with
+          | Fs_rep (tag', rep) when tag' = tag -> Proc.return rep
+          | Fs_rep _ ->
+              (* Reply to an earlier, abandoned attempt: discard it and
+                 keep waiting for ours without resending. *)
+              let* r = A.recv_timeout ~eps:[ t.reply_ep ] ~timeout:rpc_timeout in
+              let* r =
+                match r with
+                | None -> Proc.return None
+                | Some (_ep, m) ->
+                    let* () = A.ack ~ep:t.reply_ep m in
+                    Proc.return (Some m)
+              in
+              check r n
+          | _ -> failwith "Fs_client: malformed reply")
+    in
+    (* Drain first as well: a restarted incarnation of this client may
+       find replies addressed to its predecessor still queued. *)
+    let* () = drain_replies t in
+    attempt 1
 
 let fd_state t fd =
   match Hashtbl.find_opt t.fds fd with
@@ -77,7 +151,11 @@ let switch_extent t st ~fd ~writable =
       st.window <-
         Some { w_file_off = win_file_off; w_len = win_len; w_writable = writable };
       Proc.return true
-  | R_err e -> failwith ("Fs_client: extent request failed: " ^ e)
+  | R_err _ ->
+      (* I/O error (e.g. the service is gone for good): surface it as a
+         short transfer, like a POSIX read/write would. *)
+      st.window <- None;
+      Proc.return false
   | _ -> failwith "Fs_client: bad extent reply"
 
 (* The data endpoint is shared across fds: the cached window is only valid
@@ -150,7 +228,7 @@ let close t ~fd =
   Hashtbl.remove t.fds fd;
   let* rep = rpc t (Close { fd; size = st.max_written }) in
   match rep with
-  | R_ok -> Proc.return ()
+  | R_ok | R_err _ -> Proc.return ()  (* the fd is gone either way *)
   | _ -> failwith "Fs_client: bad close reply"
 
 let read_inline t ~fd ~off ~len =

@@ -16,6 +16,12 @@ type t
 val create :
   env:M3v_mux.Act_api.env -> sgate:int -> reply_ep:int -> data_ep:int -> t
 
+(** Raw RPC to the service.  Under fault injection every wait is bounded
+    and retried; a server that is gone for good surfaces as
+    [R_err "EIO"].  Chaos-tolerant callers match on [R_err] themselves
+    instead of going through the convenience wrappers. *)
+val rpc : t -> Fs_proto.fs_req -> Fs_proto.fs_rep M3v_sim.Proc.t
+
 val open_ : t -> string -> Fs_proto.open_flags -> (int, string) result M3v_sim.Proc.t
 val read : t -> fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int M3v_sim.Proc.t
 val write : t -> fd:int -> buf:M3v_mux.Act_ops.buf -> len:int -> int M3v_sim.Proc.t

@@ -27,7 +27,9 @@ type fs_rep =
   | R_ok
   | R_err of string
 
-type M3v_dtu.Msg.data += Fs of fs_req | Fs_rep of fs_rep
+(* The int is a client-chosen tag echoed in the reply, so a client that
+   timed out and retried can discard replies to abandoned attempts. *)
+type M3v_dtu.Msg.data += Fs of int * fs_req | Fs_rep of int * fs_rep
 
 let inline_limit = 256
 

@@ -37,7 +37,11 @@ type fs_rep =
   | R_ok
   | R_err of string
 
-type M3v_dtu.Msg.data += Fs of fs_req | Fs_rep of fs_rep
+(** Requests carry a client-chosen tag that the service echoes in the
+    reply.  Under fault injection a client can time out, retry and later
+    receive the reply to the abandoned attempt; the tag lets it discard
+    such stale replies instead of pairing them with the wrong request. *)
+type M3v_dtu.Msg.data += Fs of int * fs_req | Fs_rep of int * fs_rep
 
 (** Wire sizes for the timing model. *)
 val req_size : fs_req -> int

@@ -81,10 +81,10 @@ let program h ~rgate ~mem_ep ~region_sel () (env : A.env) =
         Proc.return sel
     | _ -> failwith "m3fs: extent derivation failed"
   in
-  let handle_req (msg : Msg.t) req =
+  let handle_req (msg : Msg.t) tag req =
     h.h_ops <- h.h_ops + 1;
     let reply rep =
-      A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Fs_rep rep)
+      A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Fs_rep (tag, rep))
     in
     let* () = A.compute op_cycles in
     match req with
@@ -231,7 +231,7 @@ let program h ~rgate ~mem_ep ~region_sel () (env : A.env) =
     let* _ep, msg = A.recv ~eps:[ !rgate ] in
     let* () =
       match msg.Msg.data with
-      | Fs req -> handle_req msg req
+      | Fs (tag, req) -> handle_req msg tag req
       | _ -> A.ack ~ep:!rgate msg
     in
     serve ()

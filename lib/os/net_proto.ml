@@ -17,9 +17,11 @@ type net_rep =
   | N_pkt of { src : addr; data : bytes }
   | N_err of string
 
+(* The int is a client-chosen tag echoed in the reply (stale-reply
+   detection under fault injection, as in {!Fs_proto}). *)
 type M3v_dtu.Msg.data +=
-  | Net of net_req
-  | Net_rep of net_rep
+  | Net of int * net_req
+  | Net_rep of int * net_rep
   | Nic_rx of packet
 
 let req_size = function

@@ -7,7 +7,7 @@ open Net_proto
 type sock_state = {
   mutable port : int;
   rx_queue : packet Queue.t;
-  mutable parked : Msg.t option;  (** a Recvfrom waiting for data *)
+  mutable parked : (int * Msg.t) option;  (** a tagged Recvfrom waiting for data *)
 }
 
 type handle = {
@@ -38,13 +38,13 @@ let program h ~rgate ~nic_rgate ~nic () (_env : A.env) =
       (fun _ s acc -> if s.port = port then Some s else acc)
       h.socks None
   in
-  let reply_pkt msg (pkt : packet) =
+  let reply_pkt msg tag (pkt : packet) =
     let rep = N_pkt { src = pkt.src; data = pkt.payload } in
-    A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Net_rep rep)
+    A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Net_rep (tag, rep))
   in
-  let handle_client (msg : Msg.t) req =
+  let handle_client (msg : Msg.t) tag req =
     let reply rep =
-      A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Net_rep rep)
+      A.reply ~recv_ep:!rgate ~msg ~size:(rep_size rep) (Net_rep (tag, rep))
     in
     match req with
     | Socket ->
@@ -81,10 +81,10 @@ let program h ~rgate ~nic_rgate ~nic () (_env : A.env) =
             match Queue.take_opt s.rx_queue with
             | Some pkt ->
                 let* () = A.memcpy (Bytes.length pkt.payload) in
-                reply_pkt msg pkt
+                reply_pkt msg tag pkt
             | None ->
                 (* Park until the NIC delivers something for this port. *)
-                s.parked <- Some msg;
+                s.parked <- Some (tag, msg);
                 let parked =
                   Hashtbl.fold
                     (fun _ s acc -> acc + if s.parked = None then 0 else 1)
@@ -105,10 +105,10 @@ let program h ~rgate ~nic_rgate ~nic () (_env : A.env) =
     | None -> Proc.return () (* no listener: drop *)
     | Some s -> (
         match s.parked with
-        | Some waiting ->
+        | Some (tag, waiting) ->
             s.parked <- None;
             let* () = A.memcpy (Bytes.length pkt.payload) in
-            reply_pkt waiting pkt
+            reply_pkt waiting tag pkt
         | None ->
             Queue.add pkt s.rx_queue;
             Proc.return ())
@@ -120,7 +120,7 @@ let program h ~rgate ~nic_rgate ~nic () (_env : A.env) =
     let* () =
       if ep = !rgate then
         match msg.Msg.data with
-        | Net req -> handle_client msg req
+        | Net (tag, req) -> handle_client msg tag req
         | _ -> A.ack ~ep:!rgate msg
       else
         match msg.Msg.data with

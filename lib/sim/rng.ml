@@ -17,11 +17,23 @@ let split t =
   let seed = next t in
   { state = seed }
 
+(* Draws are masked to 61 bits: non-negative after Int64 -> int
+   conversion, and the range 2^61 itself still fits in an OCaml int so
+   the cutoff arithmetic below cannot overflow. *)
+let draw_range = 0x2000_0000_0000_0000 (* 2^61 *)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Mask to 62 bits so the Int64 -> int conversion stays non-negative. *)
-  let v = Int64.to_int (Int64.logand (next t) 0x3FFF_FFFF_FFFF_FFFFL) in
-  v mod bound
+  (* Rejection sampling: a bare [v mod bound] over-weights small residues
+     whenever [bound] does not divide the draw range.  Redraw any value at
+     or above the largest multiple of [bound] that fits; at most one extra
+     draw is needed in expectation for any bound. *)
+  let cutoff = draw_range - (draw_range mod bound) in
+  let rec loop () =
+    let v = Int64.to_int (Int64.logand (next t) 0x1FFF_FFFF_FFFF_FFFFL) in
+    if v >= cutoff then loop () else v mod bound
+  in
+  loop ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

@@ -14,4 +14,5 @@ let () =
       ("integration", Test_integration.suite);
       ("syscalls", Test_syscalls.suite);
       ("props", Test_props.suite);
+      ("fault", Test_fault.suite);
     ]

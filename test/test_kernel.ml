@@ -1,8 +1,11 @@
 open M3v_sim
+open M3v_sim.Proc.Syntax
 open M3v_kernel
 module Dtu = M3v_dtu.Dtu
 module Dtu_types = M3v_dtu.Dtu_types
 module Platform = M3v_tile.Platform
+module A = M3v_mux.Act_api
+module System = M3v.System
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -145,6 +148,81 @@ let test_syscall_channel () =
   let again = Controller.host_setup_syscall_channel ctrl ~act in
   check_bool "idempotent" true (again = (sgate, rgate))
 
+(* --- syscall-level cascading revoke ---
+
+   Revoking a capability kills its whole derivation subtree: derived
+   selectors vanish from every owner's table (even on other activities)
+   and activated endpoints are invalidated with their owner-table entries
+   removed — nothing dangles. *)
+
+let test_syscall_revoke_cascades () =
+  let sys = System.create ~variant:System.M3v () in
+  let ctrl = System.controller sys in
+  let friend, _ =
+    System.spawn sys ~tile:2 ~name:"friend" (fun _ -> Proc.return ())
+  in
+  let sel_of = function
+    | Protocol.Ok_sel s -> s
+    | _ -> Alcotest.fail "expected Ok_sel"
+  in
+  let saved = ref None in
+  let owner, _ =
+    System.spawn sys ~tile:1 ~name:"owner" (fun env ->
+        let* rep =
+          A.syscall_exn env
+            (Protocol.Alloc_mem { size = 8192; perm = Dtu_types.RW })
+        in
+        let root_sel = sel_of rep in
+        let* rep =
+          A.syscall_exn env
+            (Protocol.Derive_mem_for
+               {
+                 target = friend;
+                 src_sel = root_sel;
+                 off = 0;
+                 len = 4096;
+                 perm = Dtu_types.R;
+               })
+        in
+        let child_sel = sel_of rep in
+        let* rep =
+          A.syscall_exn env (Protocol.Create_rgate { slots = 2; slot_size = 128 })
+        in
+        let rg_sel = sel_of rep in
+        let* rep = A.syscall_exn env (Protocol.Activate { sel = rg_sel; ep = None }) in
+        let rg_ep =
+          match rep with
+          | Protocol.Ok_ep ep -> ep
+          | _ -> Alcotest.fail "expected Ok_ep"
+        in
+        saved := Some (root_sel, child_sel, rg_sel, rg_ep);
+        let* rep = A.syscall_exn env (Protocol.Revoke { sel = root_sel }) in
+        (match rep with
+        | Protocol.Ok_unit -> ()
+        | _ -> Alcotest.fail "revoke mem failed");
+        let* rep = A.syscall_exn env (Protocol.Revoke { sel = rg_sel }) in
+        (match rep with
+        | Protocol.Ok_unit -> ()
+        | _ -> Alcotest.fail "revoke rgate failed");
+        Proc.return ())
+  in
+  System.boot sys;
+  ignore (System.run sys);
+  match !saved with
+  | None -> Alcotest.fail "owner program did not run"
+  | Some (root_sel, child_sel, rg_sel, rg_ep) ->
+      check_bool "root gone from owner's table" true
+        (Controller.find_cap ctrl ~act:owner ~sel:root_sel = None);
+      check_bool "derived child revoked from friend's table" true
+        (Controller.find_cap ctrl ~act:friend ~sel:child_sel = None);
+      check_bool "rgate cap gone" true
+        (Controller.find_cap ctrl ~act:owner ~sel:rg_sel = None);
+      check_bool "no dangling endpoint owner entry" true
+        (Controller.ep_owner ctrl ~tile:1 ~ep:rg_ep = None);
+      check_bool "endpoint invalidated on the tile" true
+        ((Dtu.ext_read_ep (Platform.dtu (System.platform sys) 1) ~ep:rg_ep)
+           .M3v_dtu.Ep.cfg = M3v_dtu.Ep.Invalid)
+
 let suite =
   [
     ("cap derive mem", `Quick, test_cap_derive_mem);
@@ -154,4 +232,5 @@ let suite =
     ("host alloc mem", `Quick, test_host_alloc_mem);
     ("sgate needs located rgate", `Quick, test_sgate_needs_located_rgate);
     ("syscall channel", `Quick, test_syscall_channel);
+    ("syscall revoke cascades", `Quick, test_syscall_revoke_cascades);
   ]
