@@ -10,16 +10,24 @@
       tracking simulator performance regressions).
 
    `dune exec bench/main.exe` runs both.  Pass `--bechamel-only` or
-   `--figures-only` to run half; `--json PATH` additionally dumps the
-   Bechamel estimates as machine-readable JSON (for CI perf tracking). *)
+   `--figures-only` to run half; `--jobs N` fans the figures out over N
+   domains (the Bechamel suite always runs sequentially — parallel noise
+   would defeat its purpose).
+
+   CI perf tracking:
+     bench --bechamel-only --json out.json     # results + git/host metadata
+     bench --compare BASE.json CUR.json        # per-test deltas; exits 1 on
+                                               # >threshold regressions
+     bench --compare ... --threshold 25        # regression cutoff in % *)
 
 open Bechamel
 open Toolkit
 module Runner = M3v.Exp_runner
+module Bench_io = M3v_bench_io.Bench_io
 
-let figures () =
+let figures ?jobs () =
   Format.printf "@.######## Paper evaluation: all tables and figures ########@.";
-  Runner.all ();
+  Runner.all ?jobs ();
   Format.printf "@.######## End of paper evaluation ########@.@."
 
 (* --- scaled-down experiment instances for the Bechamel tests --- *)
@@ -99,45 +107,109 @@ let bechamel () =
     estimates;
   estimates
 
-(* Machine-readable results for CI perf tracking: one object per
-   benchmark, nanoseconds per run (host-side), null when the OLS fit
-   produced no estimate. *)
+(* --- provenance: where, when and from which commit the numbers came --- *)
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+      let sha = try input_line ic with End_of_file -> "" in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when sha <> "" -> sha
+      | _ -> "unknown")
+
+let iso8601_utc now =
+  let tm = Unix.gmtime now in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let write_json path estimates =
+  let report =
+    Bench_io.make ~git_sha:(git_sha ())
+      ~timestamp:(iso8601_utc (Unix.gettimeofday ()))
+      ~ocaml_version:Sys.ocaml_version
+      ~hostname:(try Unix.gethostname () with _ -> "unknown")
+      estimates
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      let buf = Buffer.create 512 in
-      Buffer.add_string buf "{\n  \"benchmarks\": [\n";
-      List.iteri
-        (fun i (name, est) ->
-          Buffer.add_string buf
-            (Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name
-               (match est with
-               | Some e -> Printf.sprintf "%.1f" e
-               | None -> "null")
-               (if i < List.length estimates - 1 then "," else "")))
-        estimates;
-      Buffer.add_string buf "  ]\n}\n";
-      Buffer.output_buffer oc buf);
+    (fun () -> output_string oc (Bench_io.to_json report));
   Format.printf "@.bench results -> %s@." path
+
+(* --- baseline comparison (the CI perf-regression gate) --- *)
+
+let load_report path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Format.eprintf "bench: cannot read %s: %s@." path msg;
+      exit 2
+  in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Bench_io.of_json text with
+  | Ok r -> r
+  | Error msg ->
+      Format.eprintf "bench: %s: %s@." path msg;
+      exit 2
+
+let compare_reports ~threshold_pct base_path cur_path =
+  let baseline = load_report base_path in
+  let current = load_report cur_path in
+  let cmp = Bench_io.compare ~threshold_pct ~baseline ~current in
+  Bench_io.pp_comparison ~threshold_pct ~baseline ~current
+    Format.std_formatter cmp;
+  if cmp.Bench_io.regressions <> [] then exit 1
 
 let () =
   let args = Array.to_list Sys.argv in
   let figures_only = List.mem "--figures-only" args in
   let bechamel_only = List.mem "--bechamel-only" args in
-  let json_path =
+  let find_opt flag =
     let rec find = function
-      | "--json" :: path :: _ -> Some path
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
-  if not bechamel_only then figures ();
-  if not figures_only then begin
-    let estimates = bechamel () in
-    match json_path with
-    | Some path -> write_json path estimates
-    | None -> ()
-  end
+  let find2_opt flag =
+    let rec find = function
+      | f :: a :: b :: _ when f = flag -> Some (a, b)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let threshold_pct =
+    match Option.map float_of_string_opt (find_opt "--threshold") with
+    | Some None ->
+        Format.eprintf "bench: --threshold expects a number@.";
+        exit 2
+    | Some (Some t) -> t
+    | None -> 25.0
+  in
+  match find2_opt "--compare" with
+  | Some (base_path, cur_path) ->
+      compare_reports ~threshold_pct base_path cur_path
+  | None ->
+      let jobs =
+        match Option.map int_of_string_opt (find_opt "--jobs") with
+        | Some None ->
+            Format.eprintf "bench: --jobs expects a number@.";
+            exit 2
+        | Some (Some j) -> Some j
+        | None -> None
+      in
+      if not bechamel_only then figures ?jobs ();
+      if not figures_only then begin
+        let estimates = bechamel () in
+        match find_opt "--json" with
+        | Some path -> write_json path estimates
+        | None -> ()
+      end

@@ -8,7 +8,11 @@
 
    Fault injection: --faults SPEC (e.g. drop=0.01,dup=0.005,crash=2)
    plus --fault-seed N runs the experiment under a deterministic fault
-   plan; bare `m3vsim --faults SPEC` runs the chaos soak. *)
+   plan; bare `m3vsim --faults SPEC` runs the chaos soak.
+
+   Parallelism: --jobs N (or M3V_JOBS) fans independent units of the
+   experiment out over N domains.  Output is byte-identical to a
+   sequential run; --trace/--faults force sequential execution. *)
 
 open Cmdliner
 
@@ -33,15 +37,24 @@ let fault_seed =
   let doc = "Seed for the fault plan (same spec + seed = same run)." in
   Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"N" ~doc)
 
+let jobs =
+  let doc =
+    "Run independent parts of the experiment on $(docv) domains \
+     (defaults to $(b,M3V_JOBS) or the number of cores).  Output is \
+     byte-identical to --jobs 1; --trace and --faults force sequential \
+     execution."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let rounds =
   let doc = "Measured RPC round trips." in
   Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
 
 let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: local/remote RPC vs Linux primitives")
-    Term.(const (fun trace faults fault_seed rounds ->
-              M3v.Exp_runner.fig6 ?trace ?faults ~fault_seed ~rounds ())
-          $ trace $ faults $ fault_seed $ rounds)
+    Term.(const (fun trace faults fault_seed jobs rounds ->
+              M3v.Exp_runner.fig6 ?trace ?faults ~fault_seed ?jobs ~rounds ())
+          $ trace $ faults $ fault_seed $ jobs $ rounds)
 
 let runs =
   let doc = "Measured repetitions." in
@@ -49,33 +62,33 @@ let runs =
 
 let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: file read/write throughput")
-    Term.(const (fun trace faults fault_seed runs ->
-              M3v.Exp_runner.fig7 ?trace ?faults ~fault_seed ~runs ())
-          $ trace $ faults $ fault_seed $ runs)
+    Term.(const (fun trace faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig7 ?trace ?faults ~fault_seed ?jobs ~runs ())
+          $ trace $ faults $ fault_seed $ jobs $ runs)
 
 let fig8_cmd =
   Cmd.v (Cmd.info "fig8" ~doc:"Figure 8: UDP latency")
-    Term.(const (fun trace faults fault_seed runs ->
-              M3v.Exp_runner.fig8 ?trace ?faults ~fault_seed ~runs ())
-          $ trace $ faults $ fault_seed $ runs)
+    Term.(const (fun trace faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig8 ?trace ?faults ~fault_seed ?jobs ~runs ())
+          $ trace $ faults $ fault_seed $ jobs $ runs)
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun trace faults fault_seed runs ->
-              M3v.Exp_runner.fig9 ?trace ?faults ~fault_seed ~runs ())
-          $ trace $ faults $ fault_seed $ runs)
+    Term.(const (fun trace faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig9 ?trace ?faults ~fault_seed ?jobs ~runs ())
+          $ trace $ faults $ fault_seed $ jobs $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
-    Term.(const (fun trace faults fault_seed runs ->
-              M3v.Exp_runner.fig10 ?trace ?faults ~fault_seed ~runs ())
-          $ trace $ faults $ fault_seed $ runs)
+    Term.(const (fun trace faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig10 ?trace ?faults ~fault_seed ?jobs ~runs ())
+          $ trace $ faults $ fault_seed $ jobs $ runs)
 
 let voice_cmd =
   Cmd.v (Cmd.info "voice" ~doc:"Section 6.5.1: voice assistant sharing overhead")
-    Term.(const (fun trace faults fault_seed runs ->
-              M3v.Exp_runner.voice ?trace ?faults ~fault_seed ~runs ())
-          $ trace $ faults $ fault_seed $ runs)
+    Term.(const (fun trace faults fault_seed jobs runs ->
+              M3v.Exp_runner.voice ?trace ?faults ~fault_seed ?jobs ~runs ())
+          $ trace $ faults $ fault_seed $ jobs $ runs)
 
 let chaos_rounds =
   let doc = "Full read+write rounds for the fs workload." in
@@ -85,6 +98,13 @@ let chaos_ops =
   let doc = "Inline put/get operations for the kv workload." in
   Arg.(value & opt int 120 & info [ "ops" ] ~doc)
 
+let chaos_seeds =
+  let doc =
+    "Soak $(docv) consecutive seeds starting at --fault-seed, fanned out \
+     over --jobs domains; each seed prints its own report."
+  in
+  Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -92,9 +112,11 @@ let chaos_cmd =
          "Chaos soak: fs + kvstore workloads under fault injection \
           (defaults to drop=0.01,dup=0.005,delay=0.01,cmd_fail=0.005,\
           crash=2,hang=1 when --faults is omitted)")
-    Term.(const (fun trace faults fault_seed rounds ops ->
-              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ~rounds ~ops ())
-          $ trace $ faults $ fault_seed $ chaos_rounds $ chaos_ops)
+    Term.(const (fun trace faults fault_seed jobs seeds rounds ops ->
+              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ?jobs ~seeds
+                ~rounds ~ops ())
+          $ trace $ faults $ fault_seed $ jobs $ chaos_seeds $ chaos_rounds
+          $ chaos_ops)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
@@ -108,12 +130,12 @@ let complexity_cmd =
 let ablations_cmd =
   Cmd.v
     (Cmd.info "ablations" ~doc:"Ablation studies: extent cap, TLB size, topology, M3x state")
-    Term.(const (fun trace () -> M3v.Exp_runner.ablations ?trace ())
-          $ trace $ const ())
+    Term.(const (fun trace jobs () -> M3v.Exp_runner.ablations ?trace ?jobs ())
+          $ trace $ jobs $ const ())
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (paper evaluation order)")
-    Term.(const M3v.Exp_runner.all $ const ())
+    Term.(const (fun jobs () -> M3v.Exp_runner.all ?jobs ()) $ jobs $ const ())
 
 (* Bare `m3vsim --faults SPEC` runs the chaos soak; bare `m3vsim --trace
    FILE` runs a traced RPC microbenchmark; bare `m3vsim` shows the

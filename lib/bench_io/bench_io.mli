@@ -1,0 +1,69 @@
+(** Machine-readable benchmark reports: the JSON written by
+    [bench --json], read back by [bench --compare], and diffed by the CI
+    perf-regression job.
+
+    The format is deliberately tiny (flat metadata + one array of
+    name/ns pairs) so this module can parse it with no JSON dependency;
+    {!of_json} accepts anything {!to_json} emits, plus whitespace
+    variations. *)
+
+type result = {
+  name : string;
+  ns_per_run : float option;  (** [None] when the OLS fit failed *)
+}
+
+type report = {
+  schema_version : int;
+  git_sha : string;  (** ["unknown"] outside a git checkout *)
+  timestamp : string;  (** ISO-8601 UTC, e.g. ["2026-08-07T12:00:00Z"] *)
+  ocaml_version : string;
+  hostname : string;
+  results : result list;
+}
+
+val schema_version : int
+
+val make :
+  ?git_sha:string ->
+  ?timestamp:string ->
+  ?ocaml_version:string ->
+  ?hostname:string ->
+  (string * float option) list ->
+  report
+
+val to_json : report -> string
+
+(** Parse a report; [Error] carries a human-readable reason.  Unknown
+    fields are ignored so the schema can grow. *)
+val of_json : string -> (report, string) Stdlib.result
+
+(** One row of a baseline-vs-current comparison. *)
+type delta = {
+  test : string;
+  base_ns : float option;
+  cur_ns : float option;
+  pct : float option;
+      (** (cur - base) / base * 100; [None] if either side is missing *)
+}
+
+type comparison = {
+  deltas : delta list;  (** baseline order, then current-only tests *)
+  regressions : delta list;
+      (** deltas with [pct > threshold], slowest first *)
+}
+
+(** [compare ~threshold_pct ~baseline ~current] pairs up tests by name.
+    Tests present on only one side get [pct = None] and never count as
+    regressions (CI should not fail when a benchmark is added or
+    retired). *)
+val compare :
+  threshold_pct:float -> baseline:report -> current:report -> comparison
+
+(** Render the comparison as the report printed by [bench --compare]. *)
+val pp_comparison :
+  threshold_pct:float ->
+  baseline:report ->
+  current:report ->
+  Format.formatter ->
+  comparison ->
+  unit

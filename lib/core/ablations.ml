@@ -230,7 +230,14 @@ let mx_ep_state ?(extra_eps = [ 0; 16; 32; 48 ]) () =
         extra_eps;
   }
 
-let run_all () = [ extent_size (); tlb_capacity (); topology (); mx_ep_state () ]
+let run_all ?(pool = M3v_par.Par.Pool.sequential) () =
+  M3v_par.Par.all pool
+    [
+      (fun () -> extent_size ());
+      (fun () -> tlb_capacity ());
+      (fun () -> topology ());
+      (fun () -> mx_ep_state ());
+    ]
 
 let print r =
   Format.printf "@.== Ablation: %s ==@." r.study;

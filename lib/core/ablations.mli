@@ -23,5 +23,5 @@ val tlb_capacity : ?capacities:int list -> unit -> result
 val topology : unit -> result
 val mx_ep_state : ?extra_eps:int list -> unit -> result
 
-val run_all : unit -> result list
+val run_all : ?pool:M3v_par.Par.Pool.t -> unit -> result list
 val print : result -> unit

@@ -219,6 +219,28 @@ let run ?(spec = default_spec) ?(seed = 7) ?(fs_rounds = 5) ?(kv_ops = 120) () =
         end_time = Engine.now (System.engine sys);
       })
 
+(* Multi-seed soak sweep.  Each seed is an independent task: [run]
+   installs its plan domain-locally inside the task, so workers cannot see
+   each other's fault schedules.  Results come back in seed order;
+   liveness lines go through [Par.progress] (a single mutex-protected
+   stderr writer), so concurrent workers cannot interleave characters
+   within a line. *)
+let run_sweep ?(pool = M3v_par.Par.Pool.sequential) ?(spec = default_spec)
+    ?(seed = 7) ?(seeds = 1) ?(fs_rounds = 5) ?(kv_ops = 120) () =
+  let n = max 1 seeds in
+  List.init n (fun i ->
+      let seed = seed + i in
+      M3v_par.Par.submit pool (fun () ->
+          let r = run ~spec ~seed ~fs_rounds ~kv_ops () in
+          M3v_par.Par.progress
+            (Printf.sprintf "chaos: seed %d done (fs %s, kv %s, %d restarts)"
+               seed
+               (if r.fs_done then "ok" else "FAILED")
+               (if r.kv_done then "ok" else "FAILED")
+               r.restarts);
+          r))
+  |> List.map M3v_par.Par.await
+
 let print r =
   let ff = Format.std_formatter in
   Format.fprintf ff "@.Chaos soak: faults=%s seed=%d@."

@@ -34,4 +34,20 @@ val run :
   unit ->
   result
 
+(** [run_sweep ~pool ~seeds:n] soaks [n] consecutive seeds starting at
+    [seed], fanning the runs out over [pool] as independent tasks (each
+    installs its fault plan domain-locally).  Results return in seed
+    order, so the printed sweep is byte-identical however many workers ran
+    it; per-seed completion lines go to stderr through the single-writer
+    {!M3v_par.Par.progress}. *)
+val run_sweep :
+  ?pool:M3v_par.Par.Pool.t ->
+  ?spec:M3v_fault.Fault.spec ->
+  ?seed:int ->
+  ?seeds:int ->
+  ?fs_rounds:int ->
+  ?kv_ops:int ->
+  unit ->
+  result list
+
 val print : result -> unit

@@ -9,6 +9,7 @@ module Net_client = M3v_os.Net_client
 module Runtime = M3v_mux.Runtime
 module Linux_sim = M3v_linux.Linux_sim
 module Lx = M3v_linux.Lx_api
+module Par = M3v_par.Par
 
 type row = {
   config : string;
@@ -107,27 +108,43 @@ let linux_samples ~reps ~requests =
   ignore (M3v_sim.Engine.run engine);
   List.rev !samples
 
-let run ?(runs = 8) ?(warmup = 2) ?(records = 200) ?(operations = 200) () =
+let run ?(pool = Par.Pool.sequential) ?(runs = 8) ?(warmup = 2) ?(records = 200)
+    ?(operations = 200) () =
   let reps = runs + warmup in
-  let workloads =
-    List.map
+  (* One task per (workload, config) cell.  [workload_bytes] is
+     deterministic per workload (seeded by its name), so recomputing it
+     inside each task costs a little redundant work but keeps the tasks
+     fully independent. *)
+  let combos =
+    List.concat_map
       (fun workload ->
-        let requests = workload_bytes ~records ~operations workload in
-        let rows =
-          [
-            make_row "M3v (isolated)"
-              (m3v_samples ~shared:false ~reps ~requests)
-              ~warmup;
-            make_row "M3v (shared)"
-              (m3v_samples ~shared:true ~reps ~requests)
-              ~warmup;
-            make_row "Linux" (linux_samples ~reps ~requests) ~warmup;
-          ]
-        in
-        (Ycsb.workload_name workload, rows))
+        List.map (fun config -> (workload, config)) [ `Iso; `Shared; `Linux ])
       Ycsb.all_workloads
   in
-  { workloads }
+  let samples =
+    Par.map pool
+      (fun (workload, config) ->
+        let requests = workload_bytes ~records ~operations workload in
+        match config with
+        | `Iso -> m3v_samples ~shared:false ~reps ~requests
+        | `Shared -> m3v_samples ~shared:true ~reps ~requests
+        | `Linux -> linux_samples ~reps ~requests)
+      combos
+  in
+  let rec group workloads samples =
+    match (workloads, samples) with
+    | [], [] -> []
+    | w :: rest, iso :: shared :: linux :: more ->
+        ( Ycsb.workload_name w,
+          [
+            make_row "M3v (isolated)" iso ~warmup;
+            make_row "M3v (shared)" shared ~warmup;
+            make_row "Linux" linux ~warmup;
+          ] )
+        :: group rest more
+    | _ -> assert false
+  in
+  { workloads = group Ycsb.all_workloads samples }
 
 let print r =
   Format.printf "@.== Figure 10: cloud service (YCSB, 200 records / 200 ops) ==@.";

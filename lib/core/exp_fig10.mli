@@ -23,5 +23,7 @@ type row = {
 
 type result = { workloads : (string * row list) list }
 
-val run : ?runs:int -> ?warmup:int -> ?records:int -> ?operations:int -> unit -> result
+val run :
+  ?pool:M3v_par.Par.Pool.t -> ?runs:int -> ?warmup:int -> ?records:int ->
+  ?operations:int -> unit -> result
 val print : result -> unit

@@ -6,6 +6,7 @@ module A = M3v_mux.Act_api
 module Msg = M3v_dtu.Msg
 module Lx = M3v_linux.Lx_api
 module Linux_sim = M3v_linux.Linux_sim
+module Par = M3v_par.Par
 
 type result = {
   bars : Exp_common.bar list;
@@ -109,30 +110,43 @@ let boom_kcycles t =
 
 let x86_kcycles t = Time.to_us t *. 3000.0 /. 1000.0
 
-let run ?(rounds = 1000) () =
+let run ?(pool = Par.Pool.sequential) ?(rounds = 1000) () =
   let fpga = M3v_tile.Platform.fpga_spec () in
   let gem5 = M3v_tile.Platform.gem5_spec ~user_tiles:2 () in
-  let m3v_remote =
-    rpc_duration ~variant:System.M3v ~spec:fpga
-      ~client_tile:Exp_common.boom_tile_b ~server_tile:Exp_common.boom_tile_c
-      ~rounds
+  (* Each measurement owns its engine/system, so the six of them fan out
+     as independent tasks; awaiting in submission order keeps the result
+     identical to a sequential run. *)
+  let f_m3v_remote =
+    Par.submit pool (fun () ->
+        rpc_duration ~variant:System.M3v ~spec:fpga
+          ~client_tile:Exp_common.boom_tile_b
+          ~server_tile:Exp_common.boom_tile_c ~rounds)
   in
-  let m3v_local =
-    rpc_duration ~variant:System.M3v ~spec:fpga
-      ~client_tile:Exp_common.boom_tile_b ~server_tile:Exp_common.boom_tile_b
-      ~rounds
+  let f_m3v_local =
+    Par.submit pool (fun () ->
+        rpc_duration ~variant:System.M3v ~spec:fpga
+          ~client_tile:Exp_common.boom_tile_b
+          ~server_tile:Exp_common.boom_tile_b ~rounds)
   in
-  let lx_syscall = linux_syscall_duration ~rounds in
-  let lx_yield2 = linux_yield2_duration ~rounds in
+  let f_lx_syscall = Par.submit pool (fun () -> linux_syscall_duration ~rounds) in
+  let f_lx_yield2 = Par.submit pool (fun () -> linux_yield2_duration ~rounds) in
   (* gem5 3 GHz reference points (paper: M3x ~27k cycles, M3v ~5k). *)
-  let m3x_local_3ghz =
-    rpc_duration ~variant:System.M3x ~spec:gem5 ~client_tile:1 ~server_tile:1
-      ~rounds:(rounds / 4)
+  let f_m3x_local_3ghz =
+    Par.submit pool (fun () ->
+        rpc_duration ~variant:System.M3x ~spec:gem5 ~client_tile:1
+          ~server_tile:1 ~rounds:(rounds / 4))
   in
-  let m3v_local_3ghz =
-    rpc_duration ~variant:System.M3v ~spec:gem5 ~client_tile:1 ~server_tile:1
-      ~rounds:(rounds / 4)
+  let f_m3v_local_3ghz =
+    Par.submit pool (fun () ->
+        rpc_duration ~variant:System.M3v ~spec:gem5 ~client_tile:1
+          ~server_tile:1 ~rounds:(rounds / 4))
   in
+  let m3v_remote = Par.await f_m3v_remote in
+  let m3v_local = Par.await f_m3v_local in
+  let lx_syscall = Par.await f_lx_syscall in
+  let lx_yield2 = Par.await f_lx_yield2 in
+  let m3x_local_3ghz = Par.await f_m3x_local_3ghz in
+  let m3v_local_3ghz = Par.await f_m3v_local_3ghz in
   let entries =
     [
       ("Linux yield (2x)", lx_yield2);

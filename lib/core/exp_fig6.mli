@@ -19,5 +19,5 @@ type result = {
   m3v_local_kcycles_3ghz : float;
 }
 
-val run : ?rounds:int -> unit -> result
+val run : ?pool:M3v_par.Par.Pool.t -> ?rounds:int -> unit -> result
 val print : result -> unit

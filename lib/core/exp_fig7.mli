@@ -9,5 +9,7 @@
 
 type result = { bars : Exp_common.bar list (** MiB/s *) }
 
-val run : ?runs:int -> ?warmup:int -> ?file_size:int -> unit -> result
+val run :
+  ?pool:M3v_par.Par.Pool.t -> ?runs:int -> ?warmup:int -> ?file_size:int ->
+  unit -> result
 val print : result -> unit

@@ -6,6 +6,7 @@ module Net_client = M3v_os.Net_client
 module Nic = M3v_os.Nic
 module Lx = M3v_linux.Lx_api
 module Linux_sim = M3v_linux.Linux_sim
+module Par = M3v_par.Par
 
 type result = { bars : Exp_common.bar list }
 
@@ -72,17 +73,19 @@ let linux_times ~runs ~warmup =
   ignore (M3v_sim.Engine.run engine);
   !times
 
-let run ?(runs = 50) ?(warmup = 5) () =
-  let bar label times =
+let run ?(pool = Par.Pool.sequential) ?(runs = 50) ?(warmup = 5) () =
+  let bar (label, times) =
     Exp_common.bar_of_times label times ~to_unit:Time.to_us
   in
   {
     bars =
-      [
-        bar "Linux" (linux_times ~runs ~warmup);
-        bar "M3v (shared)" (m3v_times ~shared:true ~runs ~warmup);
-        bar "M3v (isolated)" (m3v_times ~shared:false ~runs ~warmup);
-      ];
+      Par.all pool
+        [
+          (fun () -> ("Linux", linux_times ~runs ~warmup));
+          (fun () -> ("M3v (shared)", m3v_times ~shared:true ~runs ~warmup));
+          (fun () -> ("M3v (isolated)", m3v_times ~shared:false ~runs ~warmup));
+        ]
+      |> List.map bar;
   }
 
 let print r =

@@ -8,5 +8,5 @@
 
 type result = { bars : Exp_common.bar list (** microseconds *) }
 
-val run : ?runs:int -> ?warmup:int -> unit -> result
+val run : ?pool:M3v_par.Par.Pool.t -> ?runs:int -> ?warmup:int -> unit -> result
 val print : result -> unit

@@ -2,6 +2,7 @@ module Time = M3v_sim.Time
 module Trace = M3v_apps.Trace
 module Traceplayer = M3v_apps.Traceplayer
 module M3fs = M3v_os.M3fs
+module Par = M3v_par.Par
 
 type point = {
   tiles : int;
@@ -47,24 +48,47 @@ let throughput ~variant ~trace ~tiles ~runs ~warmup =
       end)
     0.0 results
 
-let run ?(runs = 3) ?(warmup = 1) ?(tile_counts = [ 1; 2; 4; 8; 12 ]) () =
+let run ?(pool = Par.Pool.sequential) ?(runs = 3) ?(warmup = 1)
+    ?(tile_counts = [ 1; 2; 4; 8; 12 ]) () =
   let find = Trace.find_trace () in
   let sqlite = Trace.sqlite_trace () in
-  let points =
-    List.map
+  (* One task per (tile count, series) point — every [throughput] call
+     builds its own System, so all points are independent.  The traces
+     are shared read-only.  Merging in submission order makes the result
+     independent of how many workers ran it. *)
+  let combos =
+    List.concat_map
       (fun tiles ->
-        {
-          tiles;
-          m3v_find = Some (throughput ~variant:System.M3v ~trace:find ~tiles ~runs ~warmup);
-          m3x_find = Some (throughput ~variant:System.M3x ~trace:find ~tiles ~runs ~warmup);
-          m3v_sqlite =
-            Some (throughput ~variant:System.M3v ~trace:sqlite ~tiles ~runs ~warmup);
-          m3x_sqlite =
-            Some (throughput ~variant:System.M3x ~trace:sqlite ~tiles ~runs ~warmup);
-        })
+        List.map
+          (fun (variant, trace) -> (tiles, variant, trace))
+          [
+            (System.M3v, find);
+            (System.M3x, find);
+            (System.M3v, sqlite);
+            (System.M3x, sqlite);
+          ])
       tile_counts
   in
-  { points }
+  let values =
+    Par.map pool
+      (fun (tiles, variant, trace) -> throughput ~variant ~trace ~tiles ~runs ~warmup)
+      combos
+  in
+  let rec group tile_counts values =
+    match (tile_counts, values) with
+    | [], [] -> []
+    | tiles :: rest, vf :: xf :: vs :: xs :: more ->
+        {
+          tiles;
+          m3v_find = Some vf;
+          m3x_find = Some xf;
+          m3v_sqlite = Some vs;
+          m3x_sqlite = Some xs;
+        }
+        :: group rest more
+    | _ -> assert false
+  in
+  { points = group tile_counts values }
 
 let print r =
   Exp_common.print_series

@@ -22,7 +22,9 @@ type point = {
 
 type result = { points : point list }
 
-val run : ?runs:int -> ?warmup:int -> ?tile_counts:int list -> unit -> result
+val run :
+  ?pool:M3v_par.Par.Pool.t -> ?runs:int -> ?warmup:int -> ?tile_counts:int list ->
+  unit -> result
 val print : result -> unit
 
 (** Throughput of one configuration (exposed for tests/calibration). *)

@@ -1,4 +1,18 @@
+module Par = M3v_par.Par
+
 let opt v = if v <= 0 then None else Some v
+
+(* Experiments degrade to sequential execution when a trace sink or an
+   ambient fault plan is requested: both are domain-local, so tasks on
+   worker domains would silently escape them — and a shared fault RNG
+   would destroy schedule determinism anyway.  [sequential] names the
+   reason at each call site. *)
+let make_pool ?jobs ~sequential () =
+  if sequential then Par.Pool.sequential else Par.Pool.create ?jobs ()
+
+let with_pool ?jobs ~sequential f =
+  let pool = make_pool ?jobs ~sequential () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
 
 let parse_faults s =
   match M3v_fault.Fault.parse s with
@@ -44,54 +58,99 @@ let with_trace trace f =
         path;
       M3v_obs.Report.print Format.std_formatter sink
 
-let fig6 ?trace ?faults ?(fault_seed = 1) ~rounds () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_fig6.print (Exp_fig6.run ?rounds:(opt rounds) ())))
+let needs_seq ~trace ~faults = Option.is_some trace || Option.is_some faults
 
-let fig7 ?trace ?faults ?(fault_seed = 1) ~runs () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_fig7.print (Exp_fig7.run ?runs:(opt runs) ())))
+let fig6 ?trace ?faults ?(fault_seed = 1) ?jobs ~rounds () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_fig6.print (Exp_fig6.run ~pool ?rounds:(opt rounds) ()))))
 
-let fig8 ?trace ?faults ?(fault_seed = 1) ~runs () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_fig8.print (Exp_fig8.run ?runs:(opt runs) ())))
+let fig7 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_fig7.print (Exp_fig7.run ~pool ?runs:(opt runs) ()))))
 
-let fig9 ?trace ?faults ?(fault_seed = 1) ~runs () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_fig9.print (Exp_fig9.run ?runs:(opt runs) ())))
+let fig8 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_fig8.print (Exp_fig8.run ~pool ?runs:(opt runs) ()))))
 
-let fig10 ?trace ?faults ?(fault_seed = 1) ~runs () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_fig10.print (Exp_fig10.run ?runs:(opt runs) ())))
+let fig9 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_fig9.print (Exp_fig9.run ~pool ?runs:(opt runs) ()))))
 
-let voice ?trace ?faults ?(fault_seed = 1) ~runs () =
-  with_faults ?faults ~fault_seed (fun () ->
-      with_trace trace (fun () -> Exp_voice.print (Exp_voice.run ?runs:(opt runs) ())))
+let fig10 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_fig10.print (Exp_fig10.run ~pool ?runs:(opt runs) ()))))
+
+let voice ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              Exp_voice.print (Exp_voice.run ~pool ?runs:(opt runs) ()))))
 
 (* The chaos soak manages its own plan: [Exp_chaos.run] installs the spec
-   and seed itself so the schedule is independent of CLI wrapping. *)
-let chaos ?trace ?faults ?(fault_seed = 7) ~rounds ~ops () =
+   and seed itself — inside each task, so a sweep can run seeds on worker
+   domains.  Only tracing forces it sequential. *)
+let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?(seeds = 1) ~rounds ~ops () =
   let spec = Option.map parse_faults faults in
-  with_trace trace (fun () ->
-      Exp_chaos.print
-        (Exp_chaos.run ?spec ~seed:fault_seed ?fs_rounds:(opt rounds)
-           ?kv_ops:(opt ops) ()))
+  with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
+      with_trace trace (fun () ->
+          Exp_chaos.run_sweep ~pool ?spec ~seed:fault_seed ~seeds
+            ?fs_rounds:(opt rounds) ?kv_ops:(opt ops) ()
+          |> List.iter Exp_chaos.print))
 
 let table1 ?trace () =
   with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))
 
 let complexity () = Exp_table1.print_complexity (Exp_table1.run_complexity ())
 
-let ablations ?trace () =
-  with_trace trace (fun () -> List.iter Ablations.print (Ablations.run_all ()))
+let ablations ?trace ?jobs () =
+  with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
+      with_trace trace (fun () ->
+          List.iter Ablations.print (Ablations.run_all ~pool ())))
 
-let all () =
-  table1 ();
-  complexity ();
-  fig6 ~rounds:0 ();
-  fig7 ~runs:0 ();
-  fig8 ~runs:0 ();
-  fig9 ~runs:0 ();
-  voice ~runs:0 ();
-  fig10 ~runs:0 ();
-  ablations ()
+(* Fan out whole experiments as tasks (they also fan out internally via
+   the same pool); each task returns a printer thunk that main runs in
+   submission order, so the combined report is byte-identical to a
+   sequential run. *)
+let all ?jobs () =
+  with_pool ?jobs ~sequential:false (fun pool ->
+      Par.all pool
+        [
+          (fun () ->
+            let r = Exp_table1.run () in
+            fun () -> Exp_table1.print r);
+          (fun () ->
+            let r = Exp_table1.run_complexity () in
+            fun () -> Exp_table1.print_complexity r);
+          (fun () ->
+            let r = Exp_fig6.run ~pool () in
+            fun () -> Exp_fig6.print r);
+          (fun () ->
+            let r = Exp_fig7.run ~pool () in
+            fun () -> Exp_fig7.print r);
+          (fun () ->
+            let r = Exp_fig8.run ~pool () in
+            fun () -> Exp_fig8.print r);
+          (fun () ->
+            let r = Exp_fig9.run ~pool () in
+            fun () -> Exp_fig9.print r);
+          (fun () ->
+            let r = Exp_voice.run ~pool () in
+            fun () -> Exp_voice.print r);
+          (fun () ->
+            let r = Exp_fig10.run ~pool () in
+            fun () -> Exp_fig10.print r);
+          (fun () ->
+            let r = Ablations.run_all ~pool () in
+            fun () -> List.iter Ablations.print r);
+        ]
+      |> List.iter (fun print -> print ()))

@@ -2,6 +2,14 @@
     experiment with paper-default parameters (pass [runs = 0] or
     [rounds <= 0] for the default) and print the table/figure.
 
+    When [?jobs] is given (CLI [--jobs], or the [M3V_JOBS] environment
+    variable via the default), the experiment's independent units — bars,
+    sweep points, seeds — fan out over a {!M3v_par.Par} Domain pool of
+    that size.  Results are always merged in task-submission order, so
+    parallel and sequential runs print byte-identical output.  Tracing or
+    an ambient fault plan forces sequential execution: both are
+    domain-local and cannot follow tasks onto worker domains.
+
     When [?trace] names a file, the experiment runs with a tracing sink
     installed: on completion a Chrome trace-event JSON file is written
     there and latency percentiles plus a per-tile event summary are
@@ -13,37 +21,47 @@
     tally is printed at the end. *)
 
 val fig6 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> rounds:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  rounds:int -> unit -> unit
 
 val fig7 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  runs:int -> unit -> unit
 
 val fig8 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  runs:int -> unit -> unit
 
 val fig9 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  runs:int -> unit -> unit
 
 val fig10 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  runs:int -> unit -> unit
 
 val voice :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> runs:int -> unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  runs:int -> unit -> unit
 
 (** Chaos soak ({!Exp_chaos}): fs + kv workloads on m3fs under fault
     injection, exercising DTU retransmit, the TileMux watchdog,
     controller crash recovery and client RPC deadlines.  [faults]
     defaults to {!Exp_chaos.default_spec}; [rounds]/[ops] <= 0 pick the
-    experiment defaults. *)
+    experiment defaults.  [seeds] > 1 soaks that many consecutive seeds
+    starting at [fault_seed], fanned out over the pool. *)
 val chaos :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> rounds:int -> ops:int ->
-  unit -> unit
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
+  ?seeds:int -> rounds:int -> ops:int -> unit -> unit
+
 val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit
 
 (** Ablation studies for the design decisions (extent cap, TLB size,
     topology, M3x endpoint state). *)
-val ablations : ?trace:string -> unit -> unit
+val ablations : ?trace:string -> ?jobs:int -> unit -> unit
 
-(** Everything, in the paper's evaluation order. *)
-val all : unit -> unit
+(** Everything, in the paper's evaluation order.  Whole experiments run as
+    parallel tasks (and fan out internally); printing happens on the main
+    domain in evaluation order. *)
+val all : ?jobs:int -> unit -> unit

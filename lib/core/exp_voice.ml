@@ -224,12 +224,23 @@ let pipeline_times ~shared ~runs ~warmup ~audio =
   in
   (measured, !ratio_box, !windows_box)
 
-let run ?(runs = 16) ?(warmup = 1) ?(audio_seconds = 41.0) () =
+let run ?(pool = M3v_par.Par.Pool.sequential) ?(runs = 16) ?(warmup = 1)
+    ?(audio_seconds = 41.0) () =
   let audio =
     Audio.room_audio (Rng.create ~seed:1234) ~seconds:audio_seconds ()
   in
-  let iso_times, ratio, windows = pipeline_times ~shared:false ~runs ~warmup ~audio in
-  let sh_times, _, _ = pipeline_times ~shared:true ~runs ~warmup ~audio in
+  (* The two pipeline configurations are independent systems; the audio is
+     shared read-only. *)
+  let f_iso =
+    M3v_par.Par.submit pool (fun () ->
+        pipeline_times ~shared:false ~runs ~warmup ~audio)
+  in
+  let f_sh =
+    M3v_par.Par.submit pool (fun () ->
+        pipeline_times ~shared:true ~runs ~warmup ~audio)
+  in
+  let iso_times, ratio, windows = M3v_par.Par.await f_iso in
+  let sh_times, _, _ = M3v_par.Par.await f_sh in
   let isolated_ms = Exp_common.bar_of_times "without sharing" iso_times ~to_unit:Time.to_ms in
   let shared_ms = Exp_common.bar_of_times "with sharing" sh_times ~to_unit:Time.to_ms in
   {

@@ -20,5 +20,7 @@ type result = {
   windows_per_rep : int;
 }
 
-val run : ?runs:int -> ?warmup:int -> ?audio_seconds:float -> unit -> result
+val run :
+  ?pool:M3v_par.Par.Pool.t -> ?runs:int -> ?warmup:int -> ?audio_seconds:float ->
+  unit -> result
 val print : result -> unit

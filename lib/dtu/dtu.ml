@@ -54,6 +54,14 @@ type t = {
   mutable lookup_dtu : int -> t option;
   mutable lookup_mem : int -> Dram.t option;
   mutable stats : stats;
+  (* One-entry cache for [get_owned_ep], keyed by (endpoint index, current
+     activity).  Send/reply/fetch/ack hammer the same endpoint for the
+     same activity, so the hit rate is high and a hit skips validation and
+     the [Ok _] allocation.  Invalidated by the ext_* config writes; an
+     activity switch misses naturally through the key. *)
+  mutable ep_cache_idx : int; (* -1: empty *)
+  mutable ep_cache_act : act_id;
+  mutable ep_cache_res : (Ep.t, Dtu_types.error) result;
 }
 
 (* Local command processing time inside the DTU's finite state machines
@@ -83,6 +91,9 @@ let create ~virtualized ~tile ?(ep_count = 128) ?(tlb_capacity = 32) engine noc 
     lookup_dtu = (fun _ -> None);
     lookup_mem = (fun _ -> None);
     stats = empty_stats;
+    ep_cache_idx = -1;
+    ep_cache_act = invalid_act;
+    ep_cache_res = Error No_such_ep;
   }
 
 let connect t ~lookup_dtu ~lookup_mem =
@@ -117,11 +128,23 @@ let get_ep t ep =
 
 (* The vDTU hides endpoints of other activities behind the same error as an
    invalid endpoint (paper, section 3.5). *)
-let get_owned_ep t ep =
+let get_owned_ep_slow t ep =
   match get_ep t ep with
   | Error _ as e -> e
   | Ok e ->
       if t.virtualized && e.Ep.owner <> t.cur then Error Unknown_ep else Ok e
+
+let get_owned_ep t ep =
+  if t.ep_cache_idx = ep && t.ep_cache_act = t.cur then t.ep_cache_res
+  else begin
+    let res = get_owned_ep_slow t ep in
+    t.ep_cache_idx <- ep;
+    t.ep_cache_act <- t.cur;
+    t.ep_cache_res <- res;
+    res
+  end
+
+let invalidate_ep_cache t = t.ep_cache_idx <- -1
 
 (* TLB check for the local buffer of a command.  Only virtualized DTUs
    translate; plain DTUs (controller, memory, accelerator tiles) use
@@ -147,7 +170,7 @@ let check_vaddr t ~vaddr ~len ~write =
             Error (Translation_fault vpage))
 
 let complete_local t ~k result =
-  Engine.after t.engine ~delay:cmd_process_ps (fun () -> k result)
+  Engine.after_apply t.engine ~delay:cmd_process_ps k result
 
 (* Wrap a command's completion so the whole lifetime — issue to completion
    acknowledgement — shows up as one span, and its duration feeds the
@@ -631,11 +654,13 @@ let check_ep_index t ep =
 
 let ext_config t ~ep ~owner cfg =
   check_ep_index t ep;
+  invalidate_ep_cache t;
   t.eps.(ep).Ep.cfg <- cfg;
   t.eps.(ep).Ep.owner <- owner
 
 let ext_invalidate t ~ep =
   check_ep_index t ep;
+  invalidate_ep_cache t;
   t.eps.(ep).Ep.cfg <- Ep.Invalid;
   t.eps.(ep).Ep.owner <- invalid_act
 
@@ -649,6 +674,7 @@ let ext_snapshot_eps t ~first ~count =
   Array.init count (fun i -> Ep.snapshot t.eps.(first + i))
 
 let ext_restore_eps t ~first eps =
+  invalidate_ep_cache t;
   Array.iteri
     (fun i saved ->
       check_ep_index t (first + i);

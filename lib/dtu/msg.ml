@@ -16,13 +16,17 @@ let header_bytes = 16
 
 (* Wire-level sequence number: retransmitted copies of one logical message
    share a uid, so receivers can deduplicate.  Only equality of uids is
-   ever observed, so allocation order does not leak into simulated time. *)
-let next_uid = ref 0
+   ever observed, so allocation order does not leak into simulated time.
+   Domain-local: a simulation run is confined to one domain, and equality
+   within a run is all dedup needs, so per-domain counters are safe under
+   parallel experiment sweeps. *)
+let next_uid : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let make ~src_tile ~src_act ?src_send_ep ?(label = 0) ?reply_to ~size data =
   if size < 0 then invalid_arg "Msg.make: negative size";
-  incr next_uid;
-  { uid = !next_uid; src_tile; src_act; src_send_ep; label; reply_to; size; data }
+  let next = Domain.DLS.get next_uid in
+  incr next;
+  { uid = !next; src_tile; src_act; src_send_ep; label; reply_to; size; data }
 
 let pp fmt t =
   Format.fprintf fmt "msg[from t%d/%a label=%d size=%d%s]" t.src_tile

@@ -1,7 +1,7 @@
 (* Deterministic chaos layer.
 
    A fault [plan] is a parsed [spec] (rates and budgets) plus a dedicated
-   [Rng.t], installed process-globally like a trace sink.  Fault decisions
+   [Rng.t], installed domain-locally like a trace sink.  Fault decisions
    are drawn in simulation order from that RNG, so the same spec and seed
    reproduce the same fault schedule byte for byte.
 
@@ -136,24 +136,25 @@ let create ?(seed = 1) spec =
 let stats t = t.stats
 let spec t = t.spec
 
-(* --- global installation, mirroring Trace --- *)
+(* --- ambient installation, mirroring Trace: domain-local so parallel
+   experiment tasks each run under their own plan (or none) --- *)
 
-let current : t option ref = ref None
-let enabled = ref false
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let enabled : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let install t =
-  current := Some t;
-  enabled := true
+  Domain.DLS.set current (Some t);
+  Domain.DLS.set enabled true
 
 let uninstall () =
-  current := None;
-  enabled := false
+  Domain.DLS.set current None;
+  Domain.DLS.set enabled false
 
 let with_plan t f =
   install t;
   Fun.protect ~finally:uninstall f
 
-let on () = !enabled
+let on () = Domain.DLS.get enabled
 
 (* [protect] exempts an activity from crash/hang injection (e.g. the
    pager, whose loss would wedge every faulting activity on the tile
@@ -165,44 +166,48 @@ let protect t ~act = Hashtbl.replace t.protected act ()
 type noc_fate = Deliver | Drop | Duplicate | Delay of int
 
 let noc_fate ~now ~src ~dst =
-  match !current with
+  match Domain.DLS.get current with
   | None -> Deliver
   | Some p ->
       let r = Rng.float p.rng in
       let s = p.spec in
       if r < s.drop then begin
         p.stats.dropped <- p.stats.dropped + 1;
-        Trace.instant ~cat:"fault" ~name:"noc_drop" ~tile:src ~ts:now
-          ~args:[ ("dst", Trace.I dst) ]
-          ();
+        if Trace.on () then
+          Trace.instant ~cat:"fault" ~name:"noc_drop" ~tile:src ~ts:now
+            ~args:[ ("dst", Trace.I dst) ]
+            ();
         Drop
       end
       else if r < s.drop +. s.dup then begin
         p.stats.duplicated <- p.stats.duplicated + 1;
-        Trace.instant ~cat:"fault" ~name:"noc_dup" ~tile:src ~ts:now
-          ~args:[ ("dst", Trace.I dst) ]
-          ();
+        if Trace.on () then
+          Trace.instant ~cat:"fault" ~name:"noc_dup" ~tile:src ~ts:now
+            ~args:[ ("dst", Trace.I dst) ]
+            ();
         Duplicate
       end
       else if r < s.drop +. s.dup +. s.delay then begin
         p.stats.delayed <- p.stats.delayed + 1;
         let extra = 1 + Rng.int p.rng (max 1 s.delay_ps) in
-        Trace.instant ~cat:"fault" ~name:"noc_delay" ~tile:src ~ts:now
-          ~args:[ ("dst", Trace.I dst); ("extra_ps", Trace.I extra) ]
-          ();
+        if Trace.on () then
+          Trace.instant ~cat:"fault" ~name:"noc_delay" ~tile:src ~ts:now
+            ~args:[ ("dst", Trace.I dst); ("extra_ps", Trace.I extra) ]
+            ();
         Delay extra
       end
       else Deliver
 
 let cmd_fails ~now ~tile =
-  match !current with
+  match Domain.DLS.get current with
   | None -> false
   | Some p ->
       p.spec.cmd_fail > 0.
       && Rng.float p.rng < p.spec.cmd_fail
       && begin
            p.stats.cmd_glitches <- p.stats.cmd_glitches + 1;
-           Trace.instant ~cat:"fault" ~name:"cmd_glitch" ~tile ~ts:now ();
+           if Trace.on () then
+             Trace.instant ~cat:"fault" ~name:"cmd_glitch" ~tile ~ts:now ();
            true
          end
 
@@ -212,20 +217,22 @@ type act_fate = Crash | Hang
    [spec.hang] hangs are injected across the whole run, each with
    per-boundary probability [crash_p]/[hang_p] while budget remains. *)
 let act_fate ~now ~tile ~act =
-  match !current with
+  match Domain.DLS.get current with
   | None -> None
   | Some p ->
       if Hashtbl.mem p.protected act then None
       else if p.crash_left > 0 && Rng.float p.rng < p.spec.crash_p then begin
         p.crash_left <- p.crash_left - 1;
         p.stats.crashes_injected <- p.stats.crashes_injected + 1;
-        Trace.instant ~cat:"fault" ~name:"inject_crash" ~tile ~act ~ts:now ();
+        if Trace.on () then
+          Trace.instant ~cat:"fault" ~name:"inject_crash" ~tile ~act ~ts:now ();
         Some Crash
       end
       else if p.hang_left > 0 && Rng.float p.rng < p.spec.hang_p then begin
         p.hang_left <- p.hang_left - 1;
         p.stats.hangs_injected <- p.stats.hangs_injected + 1;
-        Trace.instant ~cat:"fault" ~name:"inject_hang" ~tile ~act ~ts:now ();
+        if Trace.on () then
+          Trace.instant ~cat:"fault" ~name:"inject_hang" ~tile ~act ~ts:now ();
         Some Hang
       end
       else None

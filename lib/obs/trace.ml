@@ -35,22 +35,24 @@ let make ?(max_events = 500_000) () =
     tallies = Hashtbl.create 64;
   }
 
-(* The sink is process-global so tracepoints need no plumbing through every
-   constructor.  [enabled] mirrors the option to keep the disabled check a
-   single load; every tracepoint below returns immediately (allocating
-   nothing) when no sink is installed. *)
-let current : sink option ref = ref None
-let enabled = ref false
+(* The sink is ambient so tracepoints need no plumbing through every
+   constructor — but it is domain-local, not process-global: experiment
+   tasks fanned out over a Domain pool each install their own sink without
+   seeing each other's.  [enabled] mirrors the option to keep the disabled
+   check a single DLS load; every tracepoint below returns immediately
+   (allocating nothing) when no sink is installed on this domain. *)
+let current : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let enabled : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let on () = !enabled
+let on () = Domain.DLS.get enabled
 
 let install s =
-  current := Some s;
-  enabled := true
+  Domain.DLS.set current (Some s);
+  Domain.DLS.set enabled true
 
 let uninstall () =
-  current := None;
-  enabled := false
+  Domain.DLS.set current None;
+  Domain.DLS.set enabled false
 
 let with_sink s f =
   install s;
@@ -101,7 +103,7 @@ let push s ev =
   end
 
 let complete ~cat ~name ?(tile = -1) ?(act = -1) ~ts ~dur ?(args = []) () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       push s
@@ -117,7 +119,7 @@ let complete ~cat ~name ?(tile = -1) ?(act = -1) ~ts ~dur ?(args = []) () =
         }
 
 let instant ~cat ~name ?(tile = -1) ?(act = -1) ~ts ?(args = []) () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       push s
@@ -133,7 +135,7 @@ let instant ~cat ~name ?(tile = -1) ?(act = -1) ~ts ?(args = []) () =
         }
 
 let counter ~cat ~name ?(tile = -1) ~ts ~value () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       push s
@@ -149,7 +151,7 @@ let counter ~cat ~name ?(tile = -1) ~ts ~value () =
         }
 
 let latency name v =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s -> Stats.Histogram.add (histogram s name) v
 

@@ -1,6 +1,21 @@
+(* The event queue stores each event as an untyped (handler, argument)
+   pair in the two payload slots of [Event_queue.t2]:
+
+     - [at]/[after] store the shared [run_thunk] handler and the thunk
+       itself as the argument — no wrapper allocation;
+     - [at_apply]/[after_apply] store the user's ['a -> unit] continuation
+       (coerced to [Obj.t -> unit]) and its ['a] argument — the dominant
+       DTU-completion pattern [fun () -> k result] costs no closure.
+
+   The [Obj] coercions never escape this module: [push] always pairs a
+   handler with an argument of the type it was declared against, so the
+   application in [run] is well-typed by construction. *)
+
+type handler = Obj.t -> unit
+
 type t = {
   mutable now : Time.t;
-  queue : (unit -> unit) Event_queue.t;
+  queue : (handler, Obj.t) Event_queue.t2;
   mutable processed : int;
   mutable observer : (Time.t -> int -> unit) option;
 }
@@ -10,21 +25,41 @@ type t = {
 let observer_interval = 1024
 
 let create () =
-  { now = Time.zero; queue = Event_queue.create (); processed = 0; observer = None }
+  {
+    now = Time.zero;
+    queue = Event_queue.create2 ~capacity:1024 ();
+    processed = 0;
+    observer = None;
+  }
 
 let now t = t.now
 let set_observer t obs = t.observer <- obs
 
-let at t ~time f =
+let run_thunk : handler = fun f -> (Obj.obj f : unit -> unit) ()
+
+let check_future t time =
   if time < t.now then
     invalid_arg
       (Format.asprintf "Engine.at: time %a is in the past (now %a)" Time.pp time
-         Time.pp t.now);
-  Event_queue.push t.queue ~time f
+         Time.pp t.now)
+
+let at t ~time f =
+  check_future t time;
+  Event_queue.push2 t.queue ~time run_thunk (Obj.repr f)
 
 let after t ~delay f =
   if delay < 0 then invalid_arg "Engine.after: negative delay";
-  Event_queue.push t.queue ~time:(Time.add t.now delay) f
+  Event_queue.push2 t.queue ~time:(Time.add t.now delay) run_thunk (Obj.repr f)
+
+let at_apply (type a) t ~time (k : a -> unit) (x : a) =
+  check_future t time;
+  Event_queue.push2 t.queue ~time (Obj.magic k : handler) (Obj.repr x)
+
+let after_apply (type a) t ~delay (k : a -> unit) (x : a) =
+  if delay < 0 then invalid_arg "Engine.after_apply: negative delay";
+  Event_queue.push2 t.queue ~time:(Time.add t.now delay)
+    (Obj.magic k : handler)
+    (Obj.repr x)
 
 let run ?until ?max_events t =
   let count = ref 0 in
@@ -34,27 +69,37 @@ let run ?until ?max_events t =
   let in_horizon time =
     match until with None -> true | Some u -> time <= u
   in
+  let q = t.queue in
   let rec loop () =
-    if continue () then
-      match Event_queue.peek_time t.queue with
-      | Some time when in_horizon time ->
-          (match Event_queue.pop t.queue with
-          | Some (time, f) ->
-              t.now <- time;
-              f ();
-              incr count;
-              t.processed <- t.processed + 1;
-              (match t.observer with
-              | Some obs when t.processed land (observer_interval - 1) = 0 ->
-                  obs t.now (Event_queue.length t.queue)
-              | Some _ | None -> ());
-              loop ()
-          | None -> ())
-      | Some _ | None -> (
-          (* Advance the clock to the horizon even when nothing ran. *)
-          match until with Some u when u > t.now -> t.now <- u | _ -> ())
+    if continue () && not (Event_queue.is_empty q) then begin
+      let time = Event_queue.next_time q in
+      if in_horizon time then begin
+        let fn = Event_queue.top_fst q and arg = Event_queue.top_snd q in
+        Event_queue.drop_min q;
+        t.now <- time;
+        fn arg;
+        incr count;
+        t.processed <- t.processed + 1;
+        (match t.observer with
+        | Some obs when t.processed land (observer_interval - 1) = 0 ->
+            obs t.now (Event_queue.length q)
+        | Some _ | None -> ());
+        loop ()
+      end
+    end
   in
   loop ();
+  (* Advance the clock to the horizon only when every remaining event lies
+     beyond it.  In particular, when [max_events] stops the loop with
+     events still pending before [until], the clock must stay at the last
+     processed event — jumping to the horizon would date those events in
+     the past. *)
+  (match until with
+  | Some u
+    when u > t.now && (Event_queue.is_empty q || Event_queue.next_time q > u)
+    ->
+      t.now <- u
+  | _ -> ());
   !count
 
 let events_processed t = t.processed

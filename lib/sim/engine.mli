@@ -19,8 +19,21 @@ val at : t -> time:Time.t -> (unit -> unit) -> unit
 (** [after eng ~delay f] schedules [f] to run [delay] after [now]. *)
 val after : t -> delay:Time.t -> (unit -> unit) -> unit
 
+(** [at_apply eng ~time k x] schedules [k x] at absolute [time] without
+    allocating a wrapper closure — the non-allocating fast path for the
+    dominant completion-delivery events ([fun () -> k result]). *)
+val at_apply : t -> time:Time.t -> ('a -> unit) -> 'a -> unit
+
+(** [after_apply eng ~delay k x] schedules [k x] to run [delay] after
+    [now]; see {!at_apply}. *)
+val after_apply : t -> delay:Time.t -> ('a -> unit) -> 'a -> unit
+
 (** Run until the event queue drains or [until] is reached.  Returns the
-    number of events processed. *)
+    number of events processed.
+
+    The clock advances to [until] only when no pending event remains at or
+    before it — if [max_events] stops the loop with such events pending,
+    [now] stays at the last processed event. *)
 val run : ?until:Time.t -> ?max_events:int -> t -> int
 
 (** Number of events processed so far over the engine's lifetime. *)

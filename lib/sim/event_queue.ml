@@ -1,76 +1,183 @@
-type 'a entry = { time : Time.t; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap with reusable slots.
 
-type 'a t = {
-  mutable heap : 'a entry array;
+   The previous implementation boxed every event in a four-word
+   [{time; seq; value}] record, so the engine's dominant push/pop cycle
+   allocated on every event and [pop] allocated again for its
+   [Some (time, value)] result.  Here the heap is four parallel arrays —
+   timestamps, insertion sequence numbers, and two payload slots — and
+   the accessors ([next_time], [top_fst], [top_snd], [drop_min]) return
+   unboxed values, so a steady-state push/pop cycle at constant queue
+   depth allocates nothing: slots are written in place and reused.
+
+   Two payload slots let the engine store a (handler, argument) pair per
+   event without a closure; single-payload users ([push]/[pop]) are the
+   same heap with [ys] fixed to [unit].
+
+   Ordering: by time, then by insertion sequence — events with equal
+   timestamps pop in FIFO order, which keeps the simulation
+   deterministic.  The sift loops move a hole instead of swapping, so
+   each step is one copy per array rather than three. *)
+
+type ('a, 'b) t2 = {
+  mutable times : int array; (* Time.t = int *)
+  mutable seqs : int array;
+  mutable xs : 'a array;
+  mutable ys : 'b array;
   mutable size : int;
   mutable next_seq : int;
+  mutable hint : int; (* capacity for the next (re-)allocation *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+type 'a t = ('a, unit) t2
+
+let default_capacity = 256
+
+let create2 ?(capacity = default_capacity) () =
+  {
+    times = [||];
+    seqs = [||];
+    xs = [||];
+    ys = [||];
+    size = 0;
+    next_seq = 0;
+    hint = max 1 capacity;
+  }
+
+let create ?capacity () = create2 ?capacity ()
 let is_empty q = q.size = 0
 let length q = q.size
 
-(* [before a b] orders by time, then insertion sequence. *)
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow q entry =
-  let capacity = Array.length q.heap in
-  if q.size = capacity then begin
-    let new_capacity = Stdlib.max 16 (2 * capacity) in
-    let heap = Array.make new_capacity entry in
-    Array.blit q.heap 0 heap 0 q.size;
-    q.heap <- heap
+(* Payload arrays need a fill value, so allocation is deferred to the
+   first push (and sized by [hint], pre-sizing the steady state). *)
+let ensure_room q a b =
+  let cap = Array.length q.times in
+  if q.size = cap then begin
+    let ncap = max q.hint (2 * cap) in
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 in
+    let nx = Array.make ncap a and ny = Array.make ncap b in
+    Array.blit q.times 0 nt 0 q.size;
+    Array.blit q.seqs 0 ns 0 q.size;
+    Array.blit q.xs 0 nx 0 q.size;
+    Array.blit q.ys 0 ny 0 q.size;
+    q.times <- nt;
+    q.seqs <- ns;
+    q.xs <- nx;
+    q.ys <- ny;
+    q.hint <- ncap
   end
 
-let push q ~time value =
-  let entry = { time; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
+let push2 q ~time a b =
+  ensure_room q a b;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let i = ref q.size in
   q.size <- q.size + 1;
-  (* Sift the new entry up to restore the heap invariant. *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if before q.heap.(i) q.heap.(parent) then begin
-        let tmp = q.heap.(i) in
-        q.heap.(i) <- q.heap.(parent);
-        q.heap.(parent) <- tmp;
-        up parent
-      end
+  (* Sift the hole up: only strictly-later parents move down — an
+     equal-time parent has a smaller seq and must stay above (FIFO). *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let tp = Array.unsafe_get q.times p in
+    if tp > time then begin
+      Array.unsafe_set q.times !i tp;
+      Array.unsafe_set q.seqs !i (Array.unsafe_get q.seqs p);
+      Array.unsafe_set q.xs !i (Array.unsafe_get q.xs p);
+      Array.unsafe_set q.ys !i (Array.unsafe_get q.ys p);
+      i := p
     end
-  in
-  up (q.size - 1)
+    else continue := false
+  done;
+  Array.unsafe_set q.times !i time;
+  Array.unsafe_set q.seqs !i seq;
+  Array.unsafe_set q.xs !i a;
+  Array.unsafe_set q.ys !i b
+
+let push q ~time v = push2 q ~time v ()
+
+let next_time q =
+  if q.size = 0 then invalid_arg "Event_queue.next_time: empty queue";
+  Array.unsafe_get q.times 0
+
+let top_fst q =
+  if q.size = 0 then invalid_arg "Event_queue.top_fst: empty queue";
+  Array.unsafe_get q.xs 0
+
+let top_snd q =
+  if q.size = 0 then invalid_arg "Event_queue.top_snd: empty queue";
+  Array.unsafe_get q.ys 0
+
+let drop_min q =
+  if q.size = 0 then invalid_arg "Event_queue.drop_min: empty queue";
+  let n = q.size - 1 in
+  q.size <- n;
+  if n > 0 then begin
+    (* Re-insert the last element at the root hole, sifting down.  The
+       vacated tail slot keeps a copy of a still-live payload, so no dead
+       value is retained. *)
+    let time = Array.unsafe_get q.times n in
+    let seq = Array.unsafe_get q.seqs n in
+    let a = Array.unsafe_get q.xs n in
+    let b = Array.unsafe_get q.ys n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n then begin
+            let tl = Array.unsafe_get q.times l
+            and tr = Array.unsafe_get q.times r in
+            if
+              tr < tl
+              || (tr = tl && Array.unsafe_get q.seqs r < Array.unsafe_get q.seqs l)
+            then r
+            else l
+          end
+          else l
+        in
+        let tc = Array.unsafe_get q.times c in
+        if tc < time || (tc = time && Array.unsafe_get q.seqs c < seq) then begin
+          Array.unsafe_set q.times !i tc;
+          Array.unsafe_set q.seqs !i (Array.unsafe_get q.seqs c);
+          Array.unsafe_set q.xs !i (Array.unsafe_get q.xs c);
+          Array.unsafe_set q.ys !i (Array.unsafe_get q.ys c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set q.times !i time;
+    Array.unsafe_set q.seqs !i seq;
+    Array.unsafe_set q.xs !i a;
+    Array.unsafe_set q.ys !i b
+  end
+
+let pop_min q =
+  let v = top_fst q in
+  drop_min q;
+  v
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      (* Sift the moved entry down. *)
-      let rec down i =
-        let left = (2 * i) + 1 and right = (2 * i) + 2 in
-        let smallest = ref i in
-        if left < q.size && before q.heap.(left) q.heap.(!smallest) then
-          smallest := left;
-        if right < q.size && before q.heap.(right) q.heap.(!smallest) then
-          smallest := right;
-        if !smallest <> i then begin
-          let tmp = q.heap.(i) in
-          q.heap.(i) <- q.heap.(!smallest);
-          q.heap.(!smallest) <- tmp;
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some (top.time, top.value)
+    let time = Array.unsafe_get q.times 0 in
+    let v = Array.unsafe_get q.xs 0 in
+    drop_min q;
+    Some (time, v)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some (Array.unsafe_get q.times 0)
 
 let clear q =
+  (* Drop the arrays so a cleared queue retains no dead payloads, but
+     remember the reached capacity: the next push re-allocates at full
+     size, so a reset-and-reuse engine pre-sizes itself. *)
+  q.hint <- max q.hint (Array.length q.times);
+  q.times <- [||];
+  q.seqs <- [||];
+  q.xs <- [||];
+  q.ys <- [||];
   q.size <- 0;
-  q.heap <- [||]
+  q.next_seq <- 0

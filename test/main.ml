@@ -15,4 +15,5 @@ let () =
       ("syscalls", Test_syscalls.suite);
       ("props", Test_props.suite);
       ("fault", Test_fault.suite);
+      ("par", Test_par.suite);
     ]

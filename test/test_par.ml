@@ -1,0 +1,330 @@
+(* Tests for the parallel execution layer (lib/par), the SoA event queue
+   rewrite, the Engine clock rule, the bench report codec — and the
+   headline determinism contract: experiments produce identical results
+   however many domains run them. *)
+
+module Par = M3v_par.Par
+module Event_queue = M3v_sim.Event_queue
+module Engine = M3v_sim.Engine
+module Bench_io = M3v_bench_io.Bench_io
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Par: futures, ordering, exceptions --- *)
+
+let test_par_results_in_order () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let results = Par.map pool (fun i -> i * i) (List.init 50 Fun.id) in
+      Alcotest.(check (list int))
+        "squares in submission order"
+        (List.init 50 (fun i -> i * i))
+        results)
+
+let test_par_sequential_pool_inline () =
+  (* The sequential pool runs tasks at submission on the calling domain:
+     side effects happen in submission order, before await. *)
+  let log = ref [] in
+  let fs =
+    List.map
+      (fun i -> Par.submit Par.Pool.sequential (fun () -> log := i :: !log; i))
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "ran at submission" [ 3; 2; 1 ] !log;
+  Alcotest.(check (list int)) "await returns values" [ 1; 2; 3 ]
+    (List.map Par.await fs)
+
+exception Boom of int
+
+let test_par_exception_propagates () =
+  Par.Pool.with_pool ~jobs:3 (fun pool ->
+      let f_ok = Par.submit pool (fun () -> 41) in
+      let f_bad = Par.submit pool (fun () -> raise (Boom 7)) in
+      check_int "good future unaffected" 41 (Par.await f_ok);
+      Alcotest.check_raises "await re-raises" (Boom 7) (fun () ->
+          ignore (Par.await f_bad));
+      (* A failed future stays failed on every await. *)
+      Alcotest.check_raises "await re-raises again" (Boom 7) (fun () ->
+          ignore (Par.await f_bad)))
+
+let test_par_nested_fanout () =
+  (* A task that itself fans out through the same pool must not deadlock
+     (awaiting domains help with queued tasks). *)
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      let outer =
+        Par.map pool
+          (fun i ->
+            List.fold_left ( + ) 0 (Par.map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list int))
+        "nested sums" [ 36; 66; 96; 126 ] outer)
+
+let test_par_jobs_clamped () =
+  check_int "sequential pool is 1 wide" 1 (Par.Pool.jobs Par.Pool.sequential);
+  Par.Pool.with_pool ~jobs:0 (fun pool ->
+      check_int "jobs <= 1 degenerates to sequential" 1 (Par.Pool.jobs pool));
+  Par.Pool.with_pool ~jobs:3 (fun pool ->
+      check_int "requested width" 3 (Par.Pool.jobs pool))
+
+(* --- experiment determinism: parallel == sequential --- *)
+
+let test_fig9_parallel_equals_sequential () =
+  let run pool = M3v.Exp_fig9.run ~pool ~runs:1 ~warmup:0 ~tile_counts:[ 1; 2 ] () in
+  let seq = run Par.Pool.sequential in
+  let par = Par.Pool.with_pool ~jobs:4 run in
+  check_bool "fig9 results identical" true (seq = par)
+
+let test_chaos_sweep_parallel_equals_sequential () =
+  let sweep pool =
+    M3v.Exp_chaos.run_sweep ~pool ~seeds:3 ~fs_rounds:2 ~kv_ops:30 ()
+  in
+  let seq = sweep Par.Pool.sequential in
+  let par = Par.Pool.with_pool ~jobs:3 sweep in
+  check_int "three seeds" 3 (List.length seq);
+  check_bool "chaos sweep results identical" true (seq = par)
+
+(* --- Event_queue: SoA heap properties --- *)
+
+let drain q =
+  let rec loop acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (t, v) -> loop ((t, v) :: acc)
+  in
+  loop []
+
+(* Reference model: a stable sort by time of the pushed (time, value)
+   list is exactly the FIFO-on-ties heap order. *)
+let prop_heap_matches_stable_sort =
+  QCheck.Test.make ~name:"heap order = stable sort by time" ~count:200
+    QCheck.(list (pair (int_bound 50) small_int))
+    (fun entries ->
+      let q = Event_queue.create () in
+      List.iter (fun (time, v) -> Event_queue.push q ~time v) entries;
+      let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) entries in
+      drain q = expected)
+
+(* Interleaved pushes and pops against the same model. *)
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"FIFO ties survive interleaved push/pop" ~count:200
+    QCheck.(list (pair (option (int_bound 20)) small_int))
+    (fun script ->
+      let q = Event_queue.create ~capacity:1 () in
+      let model = ref [] (* (time, seq, v), kept sorted *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | Some time ->
+              Event_queue.push q ~time v;
+              incr seq;
+              model :=
+                List.stable_sort
+                  (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+                  ((time, !seq, v) :: !model)
+          | None -> (
+              match (Event_queue.pop q, !model) with
+              | None, [] -> ()
+              | Some (t, v'), (mt, _, mv) :: rest ->
+                  if t <> mt || v' <> mv then ok := false;
+                  model := rest
+              | Some _, [] | None, _ :: _ -> ok := false))
+        script;
+      !ok && drain q = List.map (fun (t, _, v) -> (t, v)) !model)
+
+let test_queue_clear_reuse () =
+  let q = Event_queue.create ~capacity:4 () in
+  for i = 1 to 100 do
+    Event_queue.push q ~time:i i
+  done;
+  Event_queue.clear q;
+  check_bool "empty after clear" true (Event_queue.is_empty q);
+  check_int "length 0" 0 (Event_queue.length q);
+  (* Reuse after clear: order and contents still correct, including ties. *)
+  Event_queue.push q ~time:5 1;
+  Event_queue.push q ~time:3 2;
+  Event_queue.push q ~time:5 3;
+  Alcotest.(check (list (pair int int)))
+    "reused queue drains in order"
+    [ (3, 2); (5, 1); (5, 3) ]
+    (drain q)
+
+let test_queue_two_payloads () =
+  let q = Event_queue.create2 ~capacity:2 () in
+  Event_queue.push2 q ~time:20 "b" 2;
+  Event_queue.push2 q ~time:10 "a" 1;
+  Event_queue.push2 q ~time:20 "c" 3;
+  let order = ref [] in
+  while not (Event_queue.is_empty q) do
+    let t = Event_queue.next_time q in
+    let x = Event_queue.top_fst q in
+    let y = Event_queue.top_snd q in
+    Event_queue.drop_min q;
+    order := (t, x, y) :: !order
+  done;
+  Alcotest.(check (list (triple int string int)))
+    "both payloads travel together"
+    [ (10, "a", 1); (20, "b", 2); (20, "c", 3) ]
+    (List.rev !order);
+  Alcotest.check_raises "next_time on empty"
+    (Invalid_argument "Event_queue.next_time: empty queue") (fun () ->
+      ignore (Event_queue.next_time q))
+
+(* The non-allocating accessors must agree with [pop] on every state. *)
+let prop_fast_path_matches_pop =
+  QCheck.Test.make ~name:"top_fst/drop_min agree with pop" ~count:200
+    QCheck.(list (pair (int_bound 30) small_int))
+    (fun entries ->
+      let q1 = Event_queue.create () in
+      let q2 = Event_queue.create () in
+      List.iter
+        (fun (time, v) ->
+          Event_queue.push q1 ~time v;
+          Event_queue.push q2 ~time v)
+        entries;
+      let ok = ref true in
+      while not (Event_queue.is_empty q1) do
+        let t = Event_queue.next_time q1 in
+        let v = Event_queue.pop_min q1 in
+        (match Event_queue.pop q2 with
+        | Some (t', v') -> if t <> t' || v <> v' then ok := false
+        | None -> ok := false)
+      done;
+      !ok && Event_queue.is_empty q2)
+
+(* --- Engine: clock rule and apply fast path --- *)
+
+let test_engine_until_advances_when_drained () =
+  let eng = Engine.create () in
+  Engine.at eng ~time:10 (fun () -> ());
+  ignore (Engine.run ~until:100 eng);
+  check_int "clock reaches the horizon" 100 (Engine.now eng)
+
+let test_engine_max_events_keeps_clock () =
+  let eng = Engine.create () in
+  for i = 1 to 5 do
+    Engine.at eng ~time:(10 * i) (fun () -> ())
+  done;
+  let n = Engine.run ~until:100 ~max_events:2 eng in
+  check_int "stopped after 2 events" 2 n;
+  (* Events at 30/40/50 are still pending at or before the horizon: the
+     clock must NOT jump to 100. *)
+  check_int "clock stays at last processed event" 20 (Engine.now eng)
+
+let test_engine_max_events_at_drain_advances () =
+  let eng = Engine.create () in
+  Engine.at eng ~time:10 (fun () -> ());
+  Engine.at eng ~time:20 (fun () -> ());
+  let n = Engine.run ~until:100 ~max_events:2 eng in
+  check_int "both events ran" 2 n;
+  (* max_events stopped the loop exactly as the queue drained: nothing is
+     pending before the horizon, so the clock advances to it. *)
+  check_int "clock advances to horizon" 100 (Engine.now eng)
+
+let test_engine_event_beyond_horizon () =
+  let eng = Engine.create () in
+  Engine.at eng ~time:250 (fun () -> ());
+  ignore (Engine.run ~until:100 eng);
+  check_int "clock stops at horizon" 100 (Engine.now eng);
+  check_int "event still pending" 1 (Engine.pending eng);
+  ignore (Engine.run eng);
+  check_int "pending event runs on the next call" 250 (Engine.now eng)
+
+let test_engine_apply_fast_path () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.at_apply eng ~time:20 (fun x -> log := x :: !log) 2;
+  Engine.at eng ~time:10 (fun () -> log := 1 :: !log);
+  Engine.after_apply eng ~delay:30 (fun x -> log := x :: !log) 3;
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "apply events interleave with closures"
+    [ 3; 2; 1 ] !log;
+  check_int "clock at last event" 30 (Engine.now eng)
+
+(* --- Bench_io: report codec and comparison --- *)
+
+let test_bench_io_roundtrip () =
+  let report =
+    Bench_io.make ~git_sha:"abc123" ~timestamp:"2026-08-07T00:00:00Z"
+      ~ocaml_version:"5.1.1" ~hostname:"ci \"box\" \\ 1"
+      [ ("fig6_rpc", Some 123456.5); ("fig9_scale", None) ]
+  in
+  match Bench_io.of_json (Bench_io.to_json report) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok r ->
+      check_bool "report roundtrips" true (r = report);
+      check_string "escaped hostname survives" "ci \"box\" \\ 1" r.hostname
+
+let test_bench_io_rejects_garbage () =
+  check_bool "not json" true (Result.is_error (Bench_io.of_json "pas du json"));
+  check_bool "no benchmarks field" true
+    (Result.is_error (Bench_io.of_json "{ \"git_sha\": \"x\" }"));
+  check_bool "trailing garbage" true
+    (Result.is_error (Bench_io.of_json "{ \"benchmarks\": [] } }"))
+
+let test_bench_io_compare () =
+  let baseline =
+    Bench_io.make
+      [ ("a", Some 100.0); ("b", Some 100.0); ("gone", Some 50.0); ("c", None) ]
+  in
+  let current =
+    Bench_io.make
+      [ ("a", Some 110.0); ("b", Some 200.0); ("new", Some 10.0); ("c", Some 5.0) ]
+  in
+  let cmp = Bench_io.compare ~threshold_pct:25.0 ~baseline ~current in
+  check_int "all tests reported" 5 (List.length cmp.Bench_io.deltas);
+  (match cmp.Bench_io.regressions with
+  | [ d ] ->
+      check_string "only b regressed" "b" d.Bench_io.test;
+      check_bool "pct = +100%" true (d.Bench_io.pct = Some 100.0)
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* Raising the threshold clears it. *)
+  let cmp' = Bench_io.compare ~threshold_pct:120.0 ~baseline ~current in
+  check_int "no regressions above 120%" 0 (List.length cmp'.Bench_io.regressions)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    Alcotest.test_case "par: map keeps submission order" `Quick
+      test_par_results_in_order;
+    Alcotest.test_case "par: sequential pool runs inline" `Quick
+      test_par_sequential_pool_inline;
+    Alcotest.test_case "par: task exception re-raised by await" `Quick
+      test_par_exception_propagates;
+    Alcotest.test_case "par: nested fan-out does not deadlock" `Quick
+      test_par_nested_fanout;
+    Alcotest.test_case "par: pool width" `Quick test_par_jobs_clamped;
+    Alcotest.test_case "fig9: parallel == sequential" `Slow
+      test_fig9_parallel_equals_sequential;
+    Alcotest.test_case "chaos sweep: parallel == sequential" `Slow
+      test_chaos_sweep_parallel_equals_sequential;
+    Alcotest.test_case "event queue: clear then reuse" `Quick
+      test_queue_clear_reuse;
+    Alcotest.test_case "event queue: two payloads + empty accessors" `Quick
+      test_queue_two_payloads;
+    Alcotest.test_case "engine: until advances a drained clock" `Quick
+      test_engine_until_advances_when_drained;
+    Alcotest.test_case "engine: max_events keeps clock on pending work" `Quick
+      test_engine_max_events_keeps_clock;
+    Alcotest.test_case "engine: max_events at drain advances clock" `Quick
+      test_engine_max_events_at_drain_advances;
+    Alcotest.test_case "engine: event beyond horizon stays queued" `Quick
+      test_engine_event_beyond_horizon;
+    Alcotest.test_case "engine: at_apply/after_apply fast path" `Quick
+      test_engine_apply_fast_path;
+    Alcotest.test_case "bench_io: json roundtrip" `Quick test_bench_io_roundtrip;
+    Alcotest.test_case "bench_io: bad input rejected" `Quick
+      test_bench_io_rejects_garbage;
+    Alcotest.test_case "bench_io: comparison and threshold" `Quick
+      test_bench_io_compare;
+  ]
+  @ qsuite
+      [
+        prop_heap_matches_stable_sort;
+        prop_heap_interleaved;
+        prop_fast_path_matches_pop;
+      ]
