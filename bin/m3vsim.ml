@@ -24,6 +24,15 @@ let trace =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let metrics =
+  let doc =
+    "Export the metrics registry (counters, gauges, histograms, \
+     time-series) as JSON to $(docv) and print the metric tables.  \
+     Unlike --trace, metrics do not force sequential execution: --jobs 4 \
+     output is byte-identical to --jobs 1."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let faults =
   let doc =
     "Inject deterministic faults described by $(docv), a comma-separated \
@@ -52,9 +61,10 @@ let rounds =
 
 let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: local/remote RPC vs Linux primitives")
-    Term.(const (fun trace faults fault_seed jobs rounds ->
-              M3v.Exp_runner.fig6 ?trace ?faults ~fault_seed ?jobs ~rounds ())
-          $ trace $ faults $ fault_seed $ jobs $ rounds)
+    Term.(const (fun trace metrics faults fault_seed jobs rounds ->
+              M3v.Exp_runner.fig6 ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~rounds ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ rounds)
 
 let runs =
   let doc = "Measured repetitions." in
@@ -62,33 +72,38 @@ let runs =
 
 let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Figure 7: file read/write throughput")
-    Term.(const (fun trace faults fault_seed jobs runs ->
-              M3v.Exp_runner.fig7 ?trace ?faults ~fault_seed ?jobs ~runs ())
-          $ trace $ faults $ fault_seed $ jobs $ runs)
+    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig7 ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
 let fig8_cmd =
   Cmd.v (Cmd.info "fig8" ~doc:"Figure 8: UDP latency")
-    Term.(const (fun trace faults fault_seed jobs runs ->
-              M3v.Exp_runner.fig8 ?trace ?faults ~fault_seed ?jobs ~runs ())
-          $ trace $ faults $ fault_seed $ jobs $ runs)
+    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig8 ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun trace faults fault_seed jobs runs ->
-              M3v.Exp_runner.fig9 ?trace ?faults ~fault_seed ?jobs ~runs ())
-          $ trace $ faults $ fault_seed $ jobs $ runs)
+    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig9 ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
-    Term.(const (fun trace faults fault_seed jobs runs ->
-              M3v.Exp_runner.fig10 ?trace ?faults ~fault_seed ?jobs ~runs ())
-          $ trace $ faults $ fault_seed $ jobs $ runs)
+    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+              M3v.Exp_runner.fig10 ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
 let voice_cmd =
   Cmd.v (Cmd.info "voice" ~doc:"Section 6.5.1: voice assistant sharing overhead")
-    Term.(const (fun trace faults fault_seed jobs runs ->
-              M3v.Exp_runner.voice ?trace ?faults ~fault_seed ?jobs ~runs ())
-          $ trace $ faults $ fault_seed $ jobs $ runs)
+    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+              M3v.Exp_runner.voice ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
 let chaos_rounds =
   let doc = "Full read+write rounds for the fs workload." in
@@ -133,6 +148,39 @@ let ablations_cmd =
     Term.(const (fun trace jobs () -> M3v.Exp_runner.ablations ?trace ?jobs ())
           $ trace $ jobs $ const ())
 
+let profile_exp =
+  let doc =
+    "Experiment to profile: fig6 (RPC microbenchmark, default), fig7, \
+     fig8, fig9, fig10 or voice."
+  in
+  Arg.(value & pos 0 string "fig6" & info [] ~docv:"EXP" ~doc)
+
+let profile_rounds =
+  let doc = "Measured RPC round trips (fig6 only; <= 0 picks the default)." in
+  Arg.(value & opt int 0 & info [ "rounds" ] ~doc)
+
+let folded =
+  let doc =
+    "Also write flamegraph-style folded stacks of simulated-time spans \
+     (one $(i,frame;frame weight) line per stack; feed to flamegraph.pl \
+     or speedscope) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Critical-path profiler: trace an experiment and decompose each \
+          message flow's end-to-end latency into paper-aligned segments \
+          (sender command, NoC transit, mux scheduling delay, \
+          activity-switch cost, buffer wait, server compute, reply) with \
+          p50/p99 per segment")
+    Term.(const (fun exp trace folded metrics rounds runs ->
+              M3v.Exp_runner.profile ~exp ?trace ?folded ?metrics ~rounds
+                ~runs ())
+          $ profile_exp $ trace $ folded $ metrics $ profile_rounds $ runs)
+
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (paper evaluation order)")
     Term.(const (fun jobs () -> M3v.Exp_runner.all ?jobs ()) $ jobs $ const ())
@@ -169,5 +217,6 @@ let () =
             table1_cmd;
             complexity_cmd;
             ablations_cmd;
+            profile_cmd;
             all_cmd;
           ]))

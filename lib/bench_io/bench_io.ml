@@ -208,6 +208,11 @@ let parse_json s =
   if !pos <> n then fail "trailing garbage";
   v
 
+let json_of_string text =
+  match parse_json text with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
 let of_json text =
   match parse_json text with
   | exception Parse_error msg -> Error msg

@@ -23,6 +23,27 @@ type report = {
 
 val schema_version : int
 
+(** Generic JSON values, exposed so tests of the repo's other JSON
+    emitters (Chrome traces, the metrics registry) can reuse this parser
+    instead of growing their own. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+(** [parse_json s] parses a complete JSON document (objects, arrays,
+    strings with \-escapes, numbers, null, true/false); raises
+    {!Parse_error} on malformed input or trailing garbage. *)
+val parse_json : string -> json
+
+(** Exception-free wrapper around {!parse_json}. *)
+val json_of_string : string -> (json, string) Stdlib.result
+
 val make :
   ?git_sha:string ->
   ?timestamp:string ->

@@ -58,43 +58,73 @@ let with_trace trace f =
         path;
       M3v_obs.Report.print Format.std_formatter sink
 
+(* When [metrics] names a file, run the experiment with a metrics registry
+   installed, then export JSON there and print the metric tables.  Unlike
+   tracing, metrics do NOT force sequential execution: the pool shards the
+   registry per task and merges in submission order, so parallel metrics
+   output is byte-identical to a sequential run's. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Format.eprintf "m3vsim: cannot write metrics file: %s@." msg;
+          exit 1
+      in
+      let reg = M3v_obs.Metrics.create () in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          M3v_obs.Metrics.with_registry reg f;
+          Buffer.output_buffer oc (M3v_obs.Metrics.to_buffer reg));
+      Format.printf "@.metrics -> %s@." path;
+      M3v_obs.Metrics.print Format.std_formatter reg
+
 let needs_seq ~trace ~faults = Option.is_some trace || Option.is_some faults
 
-let fig6 ?trace ?faults ?(fault_seed = 1) ?jobs ~rounds () =
+let fig6 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~rounds () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_fig6.print (Exp_fig6.run ~pool ?rounds:(opt rounds) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_fig6.print (Exp_fig6.run ~pool ?rounds:(opt rounds) ())))))
 
-let fig7 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let fig7 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_fig7.print (Exp_fig7.run ~pool ?runs:(opt runs) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_fig7.print (Exp_fig7.run ~pool ?runs:(opt runs) ())))))
 
-let fig8 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let fig8 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_fig8.print (Exp_fig8.run ~pool ?runs:(opt runs) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_fig8.print (Exp_fig8.run ~pool ?runs:(opt runs) ())))))
 
-let fig9 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let fig9 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_fig9.print (Exp_fig9.run ~pool ?runs:(opt runs) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_fig9.print (Exp_fig9.run ~pool ?runs:(opt runs) ())))))
 
-let fig10 ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let fig10 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_fig10.print (Exp_fig10.run ~pool ?runs:(opt runs) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_fig10.print (Exp_fig10.run ~pool ?runs:(opt runs) ())))))
 
-let voice ?trace ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let voice ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
-              Exp_voice.print (Exp_voice.run ~pool ?runs:(opt runs) ()))))
+              with_metrics metrics (fun () ->
+                  Exp_voice.print (Exp_voice.run ~pool ?runs:(opt runs) ())))))
 
 (* The chaos soak manages its own plan: [Exp_chaos.run] installs the spec
    and seed itself — inside each task, so a sweep can run seeds on worker
@@ -116,6 +146,46 @@ let ablations ?trace ?jobs () =
   with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
       with_trace trace (fun () ->
           List.iter Ablations.print (Ablations.run_all ~pool ())))
+
+(* Critical-path profiler entry point: run one experiment sequentially
+   under a private trace sink (flow events need the single-domain sink),
+   then decompose every message flow's end-to-end latency into
+   paper-aligned segments.  [trace]/[folded]/[metrics] optionally dump
+   the raw Chrome trace, a flamegraph-style folded-stack file, and the
+   metrics registry alongside the profile tables. *)
+let profile ?(exp = "fig6") ?trace ?folded ?metrics ~rounds ~runs () =
+  let sink = M3v_obs.Trace.make () in
+  let pool = Par.Pool.sequential in
+  let run () =
+    M3v_obs.Trace.with_sink sink (fun () ->
+        match exp with
+        | "fig6" -> ignore (Exp_fig6.run ~pool ?rounds:(opt rounds) ())
+        | "fig7" -> ignore (Exp_fig7.run ~pool ?runs:(opt runs) ())
+        | "fig8" -> ignore (Exp_fig8.run ~pool ?runs:(opt runs) ())
+        | "fig9" -> ignore (Exp_fig9.run ~pool ?runs:(opt runs) ())
+        | "fig10" -> ignore (Exp_fig10.run ~pool ?runs:(opt runs) ())
+        | "voice" -> ignore (Exp_voice.run ~pool ?runs:(opt runs) ())
+        | other ->
+            Format.eprintf
+              "m3vsim profile: unknown experiment %S (expected \
+               fig6|fig7|fig8|fig9|fig10|voice)@."
+              other;
+            exit 2)
+  in
+  with_metrics metrics run;
+  (match trace with
+  | None -> ()
+  | Some path ->
+      M3v_obs.Chrome.write_file path sink;
+      Format.printf "trace: %d events -> %s@."
+        (M3v_obs.Trace.event_count sink)
+        path);
+  (match folded with
+  | None -> ()
+  | Some path ->
+      M3v_obs.Profile.write_folded path sink;
+      Format.printf "folded stacks -> %s@." path);
+  M3v_obs.Profile.print Format.std_formatter (M3v_obs.Profile.analyze sink)
 
 (* Fan out whole experiments as tasks (they also fan out internally via
    the same pool); each task returns a printer thunk that main runs in

@@ -15,34 +15,42 @@
     there and latency percentiles plus a per-tile event summary are
     printed (see {!M3v_obs}).
 
+    When [?metrics] names a file, the experiment runs with a metrics
+    registry installed: counters/gauges/histograms (credit stalls, TLB
+    miss rate, receive-buffer occupancy, NoC link utilization, ...) are
+    exported there as JSON and printed as text tables.  Unlike tracing,
+    metrics do NOT force sequential execution — the pool shards the
+    registry per task and merges deterministically, so [--jobs 4] output
+    is byte-identical to [--jobs 1].
+
     When [?faults] names a {!M3v_fault.Fault.parse}-able spec (e.g.
     ["drop=0.01,dup=0.005,crash=2"]), the experiment runs under a
     deterministic fault plan seeded with [fault_seed] and the injection
     tally is printed at the end. *)
 
 val fig6 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  rounds:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> rounds:int -> unit -> unit
 
 val fig7 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  runs:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> runs:int -> unit -> unit
 
 val fig8 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  runs:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> runs:int -> unit -> unit
 
 val fig9 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  runs:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> runs:int -> unit -> unit
 
 val fig10 :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  runs:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> runs:int -> unit -> unit
 
 val voice :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  runs:int -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> runs:int -> unit -> unit
 
 (** Chaos soak ({!Exp_chaos}): fs + kv workloads on m3fs under fault
     injection, exercising DTU retransmit, the TileMux watchdog,
@@ -60,6 +68,20 @@ val complexity : unit -> unit
 (** Ablation studies for the design decisions (extent cap, TLB size,
     topology, M3x endpoint state). *)
 val ablations : ?trace:string -> ?jobs:int -> unit -> unit
+
+(** Critical-path profiler: run [exp] (["fig6"] default; also
+    [fig7|fig8|fig9|fig10|voice]) sequentially under a trace sink, then
+    decompose each message flow's end-to-end latency into paper-aligned
+    segments (sender command, NoC transit, mux scheduling delay,
+    activity-switch cost, buffer wait, server compute, reply) with
+    p50/p99 per segment.  Segments sum exactly (in simulated picoseconds)
+    to the end-to-end latency.  [trace] additionally dumps the Chrome
+    trace, [folded] a flamegraph-style folded-stack file of simulated-time
+    spans, [metrics] the metrics registry JSON.  [rounds]/[runs] <= 0
+    pick the experiment defaults. *)
+val profile :
+  ?exp:string -> ?trace:string -> ?folded:string -> ?metrics:string ->
+  rounds:int -> runs:int -> unit -> unit
 
 (** Everything, in the paper's evaluation order.  Whole experiments run as
     parallel tasks (and fan out internally); printing happens on the main

@@ -22,7 +22,7 @@ let create ?spec ?topology ?noc_params ?tlb_capacity ?timeslice ~variant () =
   let spec = match spec with Some s -> s | None -> Platform.fpga_spec () in
   let engine = Engine.create () in
   (* No-op unless a trace sink is installed. *)
-  M3v_obs.Trace.attach_engine engine;
+  M3v_obs.Hooks.attach_engine engine;
   let platform =
     Platform.create ?topology ?noc_params ?tlb_capacity
       ~virtualized:(variant = M3v) ~tiles:spec engine ()

@@ -1,8 +1,45 @@
 module Engine = M3v_sim.Engine
 module Noc = M3v_noc.Noc
 module Trace = M3v_obs.Trace
+module Metrics = M3v_obs.Metrics
 module Fault = M3v_fault.Fault
 open Dtu_types
+
+(* Causal-flow tracepoints: every message uid is a flow id, and each
+   lifecycle point (issue → inject → deliver → fetch) is one flow event
+   sharing the ("flow", "msg", uid) triple — Chrome/Perfetto match s/t/f
+   arrows by that triple, so the point kind travels in args.  Replies
+   carry a "req" arg naming the request uid, which lets the profiler pair
+   the two legs of an RPC. *)
+
+let flow_cat = "flow"
+let flow_name = "msg"
+
+let flow_issue ?req ~uid ~tile ~act ~ts () =
+  let args =
+    match req with
+    | None -> [ ("kind", Trace.S "issue") ]
+    | Some r -> [ ("kind", Trace.S "issue"); ("req", Trace.I r) ]
+  in
+  Trace.flow_start ~cat:flow_cat ~name:flow_name ~id:uid ~tile ~act ~ts ~args ()
+
+let flow_inject ~uid ~tile ~act ~ts () =
+  Trace.flow_step ~cat:flow_cat ~name:flow_name ~id:uid ~tile ~act ~ts
+    ~args:[ ("kind", Trace.S "inject") ]
+    ()
+
+let flow_deliver ~uid ~tile ~act ~ts () =
+  Trace.flow_step ~cat:flow_cat ~name:flow_name ~id:uid ~tile ~act ~ts
+    ~args:[ ("kind", Trace.S "deliver") ]
+    ()
+
+let flow_fetch ~uid ~tile ~act ~ts () =
+  Trace.flow_end ~cat:flow_cat ~name:flow_name ~id:uid ~tile ~act ~ts
+    ~args:[ ("kind", Trace.S "fetch") ]
+    ()
+
+(* Metrics category label for a receive endpoint ("ep3"). *)
+let ep_cat ep = "ep" ^ string_of_int ep
 
 type completion = (unit, Dtu_types.error) result -> unit
 
@@ -158,7 +195,10 @@ let check_vaddr t ~vaddr ~len ~write =
       else
         let vpage = page_of_addr addr in
         (match Tlb.lookup t.tlb ~act:t.cur ~vpage ~write with
-        | Some _ -> Ok ()
+        | Some _ ->
+            if Metrics.on () then
+              Metrics.counter_incr ~name:"dtu/tlb_hit" ~tile:t.tile ();
+            Ok ()
         | None ->
             t.stats <-
               { t.stats with translation_faults = t.stats.translation_faults + 1 };
@@ -167,6 +207,8 @@ let check_vaddr t ~vaddr ~len ~write =
                 ~ts:(Engine.now t.engine)
                 ~args:[ ("vpage", Trace.I vpage) ]
                 ();
+            if Metrics.on () then
+              Metrics.counter_incr ~name:"dtu/tlb_miss" ~tile:t.tile ();
             Error (Translation_fault vpage))
 
 let complete_local t ~k result =
@@ -176,23 +218,28 @@ let complete_local t ~k result =
    acknowledgement — shows up as one span, and its duration feeds the
    per-command latency histogram.  Identity when tracing is off. *)
 let traced_completion t ~name ~k =
-  if not (Trace.on ()) then k
+  if not (Trace.on () || Metrics.on ()) then k
   else begin
     let ts = Engine.now t.engine in
     let act = t.cur in
     fun result ->
       let dur = Engine.now t.engine - ts in
-      Trace.complete ~cat:"dtu" ~name ~tile:t.tile ~act ~ts ~dur
-        ~args:
-          [
-            ( "result",
-              Trace.S
-                (match result with
-                | Ok () -> "ok"
-                | Error e -> error_to_string e) );
-          ]
-        ();
-      Trace.latency_int ("dtu/" ^ name) dur;
+      if Trace.on () then begin
+        Trace.complete ~cat:"dtu" ~name ~tile:t.tile ~act ~ts ~dur
+          ~args:
+            [
+              ( "result",
+                Trace.S
+                  (match result with
+                  | Ok () -> "ok"
+                  | Error e -> error_to_string e) );
+            ]
+          ();
+        Trace.latency_int ("dtu/" ^ name) dur
+      end;
+      if Metrics.on () then
+        Metrics.observe ~name:"dtu/cmd_ps" ~tile:t.tile ~cat:name
+          (float_of_int dur);
       k result
   end
 
@@ -240,6 +287,14 @@ let deliver dst ~dst_ep (msg : Msg.t) =
             r.Ep.occupied <- r.Ep.occupied + 1;
             if Fault.on () then Ep.note_seen r msg.Msg.uid;
             let owner = e.Ep.owner in
+            if Trace.on () then
+              flow_deliver ~uid:msg.Msg.uid ~tile:dst.tile ~act:owner
+                ~ts:(Engine.now dst.engine) ();
+            if Metrics.on () then
+              Metrics.gauge_set ~name:"dtu/rbuf_occupancy" ~tile:dst.tile
+                ~cat:(ep_cat dst_ep)
+                ~ts:(Engine.now dst.engine)
+                (float_of_int r.Ep.occupied);
             if dst.virtualized then begin
               incr (unread_cell dst owner);
               if owner <> dst.cur then push_core_req dst owner
@@ -357,7 +412,7 @@ let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
                       ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
                         finish (Error Recv_gone)))))
 
-let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
+let send t ~ep ?reply_ep ?src_vaddr ?issue_ts ~msg_size data ~k =
   t.stats <- { t.stats with sends = t.stats.sends + 1 };
   let k = traced_completion t ~name:"send" ~k in
   match get_owned_ep t ep with
@@ -371,7 +426,12 @@ let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
             match check_vaddr t ~vaddr:src_vaddr ~len:msg_size ~write:false with
             | Error err -> complete_local t ~k (Error err)
             | Ok () ->
-                if s.Ep.credits <= 0 then complete_local t ~k (Error No_credits)
+                if s.Ep.credits <= 0 then begin
+                  if Metrics.on () then
+                    Metrics.counter_incr ~name:"dtu/credit_stall" ~tile:t.tile
+                      ();
+                  complete_local t ~k (Error No_credits)
+                end
                 else begin
                   s.Ep.credits <- s.Ep.credits - 1;
                   let reply_to =
@@ -383,6 +443,17 @@ let send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k =
                     Msg.make ~src_tile:t.tile ~src_act:t.cur ~src_send_ep:ep
                       ~label:s.Ep.label ?reply_to ~size:msg_size data
                   in
+                  if Trace.on () then begin
+                    let now = Engine.now t.engine in
+                    (* [issue_ts] is when the software issued the command
+                       (before MMIO overhead and credit-stall spins), so
+                       the profiler's sender_cmd segment covers them. *)
+                    flow_issue ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur
+                      ~ts:(Option.value issue_ts ~default:now)
+                      ();
+                    flow_inject ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur
+                      ~ts:now ()
+                  end;
                   transmit t ~dst_tile:s.Ep.dst_tile ~dst_ep:s.Ep.dst_ep ~msg
                     ~on_credit_fail:(fun () ->
                       if s.Ep.credits < s.Ep.max_credits then
@@ -403,13 +474,18 @@ let free_slot t ~ep (msg : Msg.t) =
       ignore msg;
       if r.Ep.occupied > 0 then begin
         r.Ep.occupied <- r.Ep.occupied - 1;
+        if Metrics.on () then
+          Metrics.gauge_set ~name:"dtu/rbuf_occupancy" ~tile:t.tile
+            ~cat:(ep_cat ep)
+            ~ts:(Engine.now t.engine)
+            (float_of_int r.Ep.occupied);
         Ok ()
       end
       else Error Recv_gone
   | Ok _ -> Error Wrong_ep_type
   | Error e -> Error e
 
-let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
+let reply t ~recv_ep ~to_msg ?src_vaddr ?issue_ts ~msg_size data ~k =
   t.stats <- { t.stats with replies = t.stats.replies + 1 };
   let k = traced_completion t ~name:"reply" ~k in
   match get_owned_ep t recv_ep with
@@ -436,6 +512,14 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ~msg_size data ~k =
             Msg.make ~src_tile:t.tile ~src_act:t.cur ~label:to_msg.Msg.label
               ~size:msg_size data
           in
+          if Trace.on () then begin
+            let now = Engine.now t.engine in
+            flow_issue ~req:to_msg.Msg.uid ~uid:msg.Msg.uid ~tile:t.tile
+              ~act:t.cur
+              ~ts:(Option.value issue_ts ~default:now)
+              ();
+            flow_inject ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur ~ts:now ()
+          end;
           let credit_ep = if freed then to_msg.Msg.src_send_ep else None in
           let bytes = msg_size + Msg.header_bytes in
           (* The piggybacked credit is restored the first time any copy of
@@ -503,11 +587,14 @@ let fetch t ~ep =
                 let cell = unread_cell t e.Ep.owner in
                 if !cell > 0 then decr cell
               end;
-              if Trace.on () then
+              if Trace.on () then begin
+                let now = Engine.now t.engine in
                 Trace.instant ~cat:"dtu" ~name:"fetch" ~tile:t.tile ~act:t.cur
-                  ~ts:(Engine.now t.engine)
+                  ~ts:now
                   ~args:[ ("ep", Trace.I ep) ]
                   ();
+                flow_fetch ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur ~ts:now ()
+              end;
               Ok (Some msg))
       | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Wrong_ep_type)
 
@@ -681,7 +768,14 @@ let ext_restore_eps t ~first eps =
       t.eps.(first + i) <- Ep.snapshot saved)
     eps
 
-let ext_inject t ~ep msg = Result.map ignore (deliver t ~dst_ep:ep msg)
+let ext_inject t ~ep msg =
+  (* Externally injected messages (kernel upcalls, NIC receive path) have
+     no DTU SEND: their flow starts at the injection itself, so the
+     sender-side segments profile as zero. *)
+  if Trace.on () then
+    flow_issue ~uid:msg.Msg.uid ~tile:t.tile ~act:(-1)
+      ~ts:(Engine.now t.engine) ();
+  Result.map ignore (deliver t ~dst_ep:ep msg)
 
 (* Drop every message still queued at a receive endpoint, freeing the
    slots and returning senders' credits exactly as an ack would.  The

@@ -41,12 +41,16 @@ val ep_count : t -> int
 (** [send t ~ep ?reply_ep ?src_vaddr ~msg_size data ~k] issues a SEND.
     Consumes one credit; fails with [Recv_gone] (credit restored) if the
     remote receive endpoint is invalid or full.  [src_vaddr], when given on
-    a vDTU, is translated through the TLB and must not cross a page. *)
+    a vDTU, is translated through the TLB and must not cross a page.
+    [issue_ts] (default: now) backdates the message's flow-start point to
+    when software issued the command, so the profiler's sender-command
+    segment covers MMIO overhead and credit-stall spins. *)
 val send :
   t ->
   ep:int ->
   ?reply_ep:int ->
   ?src_vaddr:int ->
+  ?issue_ts:int ->
   msg_size:int ->
   Msg.data ->
   k:completion ->
@@ -62,6 +66,7 @@ val reply :
   recv_ep:int ->
   to_msg:Msg.t ->
   ?src_vaddr:int ->
+  ?issue_ts:int ->
   msg_size:int ->
   Msg.data ->
   k:completion ->

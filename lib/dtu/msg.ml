@@ -22,6 +22,11 @@ let header_bytes = 16
    parallel experiment sweeps. *)
 let next_uid : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* Flow tracepoints embed uids as causal-flow ids, so a traced run must
+   allocate them reproducibly: restart the counter whenever a trace sink
+   is installed. *)
+let () = M3v_obs.Trace.at_install (fun () -> Domain.DLS.get next_uid := 0)
+
 let make ~src_tile ~src_act ?src_send_ep ?(label = 0) ?reply_to ~size data =
   if size < 0 then invalid_arg "Msg.make: negative size";
   let next = Domain.DLS.get next_uid in

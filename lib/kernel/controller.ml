@@ -8,6 +8,7 @@ module Msg = M3v_dtu.Msg
 module Platform = M3v_tile.Platform
 module Core_model = M3v_tile.Core_model
 module Trace = M3v_obs.Trace
+module Metrics = M3v_obs.Metrics
 open Dtu_types
 
 type mode = M3v | M3x
@@ -867,6 +868,9 @@ let rec dispatch t =
     match Dtu.fetch t.dtu ~ep:syscall_ep with
     | Ok (Some msg) ->
         t.busy <- true;
+        if Metrics.on () then
+          Metrics.counter_incr ~name:"kernel/requests" ~tile:t.tile
+            ~cat:(req_name msg.Msg.data) ();
         let k =
           let k () =
             t.busy <- false;

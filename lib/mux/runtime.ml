@@ -11,6 +11,7 @@ module Platform = M3v_tile.Platform
 module Controller = M3v_kernel.Controller
 module Proto = M3v_kernel.Protocol
 module Trace = M3v_obs.Trace
+module Metrics = M3v_obs.Metrics
 module Fault = M3v_fault.Fault
 open Dtu_types
 open Act_ops
@@ -119,23 +120,34 @@ let charge_mux t cycles k =
     Engine.after t.engine ~delay:d k
   end
 
-(* Tracing hooks: an activity's occupancy of the core is reported as one
-   "run" span from dispatch to the point it yields/blocks/faults/exits. *)
-let note_run_start t = if Trace.on () then t.run_since <- Engine.now t.engine
+(* Observability hooks: an activity's occupancy of the core is reported as
+   one "run" span from dispatch to the point it yields/blocks/faults/exits
+   (the profiler uses these spans to split receive-buffer waits into
+   scheduling delay vs. switch cost), and each mux decision point bumps a
+   per-tile metrics counter. *)
+let obs_on () = Trace.on () || Metrics.on ()
+
+let note_run_start t = if obs_on () then t.run_since <- Engine.now t.engine
 
 let note_run_end t (a : arec) ~why =
-  if Trace.on () then begin
+  if obs_on () then begin
     let ts = t.run_since in
     let dur = Time.sub (Engine.now t.engine) ts in
-    Trace.complete ~cat:"mux" ~name:"run" ~tile:t.rtile ~act:a.aid ~ts ~dur
-      ~args:[ ("act", Trace.S a.aname); ("why", Trace.S why) ] ();
-    Trace.latency_int "mux/run_span" dur
+    if Trace.on () then begin
+      Trace.complete ~cat:"mux" ~name:"run" ~tile:t.rtile ~act:a.aid ~ts ~dur
+        ~args:[ ("act", Trace.S a.aname); ("why", Trace.S why) ] ();
+      Trace.latency_int "mux/run_span" dur
+    end;
+    if Metrics.on () then
+      Metrics.observe ~name:"mux/run_ps" ~tile:t.rtile (float_of_int dur)
   end
 
 let mux_instant t name =
   if Trace.on () then
     Trace.instant ~cat:"mux" ~name ~tile:t.rtile
-      ~ts:(Engine.now t.engine) ()
+      ~ts:(Engine.now t.engine) ();
+  if Metrics.on () then
+    Metrics.counter_incr ~name:("mux/" ^ name) ~tile:t.rtile ()
 
 let note_stall_start (a : arec) ~now = a.stall_since <- now
 
@@ -730,11 +742,15 @@ and arm_recv_deadline t (a : arec) ?deadline () =
           | Some _ | None -> ())
 
 and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
+  (* Captured before the MMIO charge so the flow's sender-command segment
+     covers command overhead and any credit-stall spins. *)
+  let issue_ts = Engine.now t.engine in
   charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
       let rec attempt () =
         a.st <- Stalled;
         note_stall_start a ~now:(Engine.now t.engine);
-        Dtu.send t.dtu ~ep ?reply_ep ?src_vaddr:vaddr ~msg_size:size data
+        Dtu.send t.dtu ~ep ?reply_ep ?src_vaddr:vaddr ~issue_ts ~msg_size:size
+          data
           ~k:(fun result ->
             note_stall_end t a ~now:(Engine.now t.engine);
             a.st <- Running;
@@ -761,11 +777,13 @@ and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
       attempt ())
 
 and do_reply t (a : arec) ~recv_ep ~msg ~vaddr ~size ~data ~k =
+  let issue_ts = Engine.now t.engine in
   charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
       let rec attempt () =
         a.st <- Stalled;
         note_stall_start a ~now:(Engine.now t.engine);
-        Dtu.reply t.dtu ~recv_ep ~to_msg:msg ?src_vaddr:vaddr ~msg_size:size data
+        Dtu.reply t.dtu ~recv_ep ~to_msg:msg ?src_vaddr:vaddr ~issue_ts
+          ~msg_size:size data
           ~k:(fun result ->
             note_stall_end t a ~now:(Engine.now t.engine);
             a.st <- Running;

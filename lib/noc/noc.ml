@@ -1,6 +1,7 @@
 module Engine = M3v_sim.Engine
 module Time = M3v_sim.Time
 module Trace = M3v_obs.Trace
+module Metrics = M3v_obs.Metrics
 module Fault = M3v_fault.Fault
 
 (* Data-plane packets (DTU messages, replies, DMA bursts) are best-effort
@@ -66,7 +67,13 @@ let transfer_time t ~record ~start route flits =
       if record then begin
         t.free_at.(link) <- Time.add begin_at serialization;
         t.stats <-
-          { t.stats with link_busy_ps = t.stats.link_busy_ps + serialization }
+          { t.stats with link_busy_ps = t.stats.link_busy_ps + serialization };
+        if Metrics.on () then begin
+          let name = Topology.link_name t.topo link in
+          Metrics.counter_add ~name:"noc/link_busy_ps" ~cat:name
+            (float_of_int serialization);
+          Metrics.counter_incr ~name:"noc/link_pkts" ~cat:name ()
+        end
       end;
       arrival := Time.add begin_at t.params.hop_latency_ps)
     route;

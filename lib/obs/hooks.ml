@@ -1,0 +1,18 @@
+(* Combined engine observer: one hook samples both the trace sink (queue
+   depth counter track) and the metrics registry (gauge/counter ring
+   series).  Wired by the system constructor so the engine itself stays
+   free of an obs dependency. *)
+
+let attach_engine engine =
+  if Trace.on () || Metrics.on () then
+    M3v_sim.Engine.set_observer engine
+      (Some
+         (fun now pending ->
+           if Trace.on () then
+             Trace.counter ~cat:"engine" ~name:"pending_events" ~ts:now
+               ~value:(float_of_int pending) ();
+           if Metrics.on () then begin
+             Metrics.gauge_set ~name:"engine/pending_events" ~ts:now
+               (float_of_int pending);
+             Metrics.sample_ambient ~ts:now
+           end))

@@ -1,0 +1,7 @@
+(** Wiring between the simulation engine and the observability layer. *)
+
+(** Install an engine observer that, every 1024 processed events, samples
+    the dispatch queue depth into the trace (when tracing is on) and
+    pushes a sample of every metric's time series (when metrics are on).
+    No-op when both are off. *)
+val attach_engine : M3v_sim.Engine.t -> unit

@@ -1,0 +1,87 @@
+(** Typed metrics registry: counters, gauges, and histograms labelled by
+    (tile, activity, category), with ring-buffer time-series sampling and
+    deterministic text/JSON export.
+
+    Like {!Trace}, the registry is ambient and domain-local: emitters cost
+    one boolean load and allocate nothing when no registry is installed,
+    so instrumented hot paths are free in ordinary runs.
+
+    Parallel experiment runs shard the registry per pool task via
+    {!shard_task}; the pool merges each shard back at [await] in
+    submission order, so [--jobs N] output is byte-identical to a
+    sequential run. *)
+
+type t
+
+(** [create ()] makes an empty registry.  Each gauge/counter keeps at most
+    [series_cap] time-series samples (a ring of the newest). *)
+val create : ?series_cap:int -> unit -> t
+
+val default_series_cap : int
+
+(** {1 Ambient registry} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val with_registry : t -> (unit -> 'a) -> 'a
+
+(** Whether a registry is installed on this domain.  Hot call sites check
+    this before computing emitter arguments. *)
+val on : unit -> bool
+
+(** {1 Emitters} — no-ops when no registry is installed.  A name must keep
+    one metric type for the whole run; mixing types raises
+    [Invalid_argument]. *)
+
+val counter_add :
+  name:string -> ?tile:int -> ?act:int -> ?cat:string -> float -> unit
+
+val counter_incr :
+  name:string -> ?tile:int -> ?act:int -> ?cat:string -> unit -> unit
+
+(** [gauge_set ~name ~ts v] records the gauge's current value at simulated
+    time [ts] (ps).  Merges resolve concurrent shards by latest [ts]. *)
+val gauge_set :
+  name:string -> ?tile:int -> ?act:int -> ?cat:string -> ts:int -> float -> unit
+
+(** Record a sample into a labelled histogram. *)
+val observe : name:string -> ?tile:int -> ?act:int -> ?cat:string -> float -> unit
+
+(** {1 Sampling} *)
+
+(** Push the current value of every counter and gauge into its ring
+    series, stamped [ts].  Wired to the engine observer (every 1024
+    simulation events) so cadence is deterministic in simulated time. *)
+val sample : t -> ts:int -> unit
+
+(** {!sample} on this domain's ambient registry, if any. *)
+val sample_ambient : ts:int -> unit
+
+(** {1 Merging and sharding} *)
+
+(** [merge ~into src] folds [src] into [into]: counters add, histograms
+    merge, gauges keep the value with the later simulated timestamp
+    ([src] wins ties), series are merge-sorted by timestamp and truncated
+    to the ring capacity.  Deterministic given a deterministic merge
+    order. *)
+val merge : into:t -> t -> unit
+
+(** [shard_task f] — [None] when metrics are off.  Otherwise wraps [f] so
+    it records into a fresh shard no matter which domain runs it, and
+    returns the thunk that merges the shard into the registry that was
+    ambient at wrap time.  Used by [Par.Pool.submit]; the merge thunk runs
+    at [await], in submission order. *)
+val shard_task : (unit -> 'a) -> ((unit -> 'a) * (unit -> unit)) option
+
+(** {1 Export} *)
+
+(** Deterministic JSON: metrics sorted by (name, tile, act, cat);
+    histograms exported as count/mean/p50/p90/p99/max; series as
+    [[ts_ps, value]] pairs. *)
+val to_buffer : t -> Buffer.t
+
+val to_json : t -> string
+val write_file : string -> t -> unit
+
+(** Human-readable tables (counters, gauges, histograms). *)
+val print : Format.formatter -> t -> unit

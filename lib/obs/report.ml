@@ -41,9 +41,12 @@ let print_tallies fmt sink =
 
 let print fmt sink =
   Format.fprintf fmt "@.======== trace summary ========@.";
-  Format.fprintf fmt "  events recorded: %d%s@." (Trace.event_count sink)
-    (let d = Trace.dropped sink in
-     if d > 0 then Printf.sprintf " (%d dropped past the event cap)" d else "");
+  Format.fprintf fmt "  events recorded: %d@." (Trace.event_count sink);
+  let d = Trace.dropped sink in
+  if d > 0 then
+    Format.fprintf fmt
+      "  WARNING: %d events dropped (cap %d) — the trace is truncated@." d
+      (Trace.max_events sink);
   print_histograms fmt sink;
   print_tallies fmt sink;
   Format.fprintf fmt "@."

@@ -2,7 +2,7 @@ module Stats = M3v_sim.Stats
 
 type value = I of int | F of float | S of string
 
-type phase = Complete | Instant | Counter
+type phase = Complete | Instant | Counter | Flow_start | Flow_step | Flow_end
 
 type event = {
   ev_cat : string;
@@ -12,6 +12,7 @@ type event = {
   ev_dur : int; (* Complete events only, ps *)
   ev_tile : int; (* -1: not tile-attributed *)
   ev_act : int; (* -1: not activity-attributed *)
+  ev_id : int; (* flow id (message uid) for Flow_* events; -1 otherwise *)
   ev_args : (string * value) list;
 }
 
@@ -46,7 +47,18 @@ let enabled : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let on () = Domain.DLS.get enabled
 
+(* Run-local allocator resets (e.g. the message uid counter).  Trace
+   output must be a pure function of the traced run, but flow events
+   embed ids drawn from counters that otherwise keep counting across
+   runs on the same domain; resetting them at [install] makes two
+   identical traced runs byte-identical.  Registration happens at module
+   init on the main domain, before any pool exists, so a plain ref is
+   safe. *)
+let install_hooks : (unit -> unit) list ref = ref []
+let at_install f = install_hooks := f :: !install_hooks
+
 let install s =
+  List.iter (fun f -> f ()) !install_hooks;
   Domain.DLS.set current (Some s);
   Domain.DLS.set enabled true
 
@@ -61,6 +73,7 @@ let with_sink s f =
 let events s = List.rev s.events
 let event_count s = s.n_events
 let dropped s = s.dropped
+let max_events s = s.max_events
 
 let histogram s name =
   match Hashtbl.find_opt s.hists name with
@@ -115,6 +128,7 @@ let complete ~cat ~name ?(tile = -1) ?(act = -1) ~ts ~dur ?(args = []) () =
           ev_dur = dur;
           ev_tile = tile;
           ev_act = act;
+          ev_id = -1;
           ev_args = args;
         }
 
@@ -131,10 +145,11 @@ let instant ~cat ~name ?(tile = -1) ?(act = -1) ~ts ?(args = []) () =
           ev_dur = 0;
           ev_tile = tile;
           ev_act = act;
+          ev_id = -1;
           ev_args = args;
         }
 
-let counter ~cat ~name ?(tile = -1) ~ts ~value () =
+let counter ~cat ~name ?(tile = -1) ?(act = -1) ~ts ~value () =
   match Domain.DLS.get current with
   | None -> ()
   | Some s ->
@@ -146,9 +161,34 @@ let counter ~cat ~name ?(tile = -1) ~ts ~value () =
           ev_ts = ts;
           ev_dur = 0;
           ev_tile = tile;
-          ev_act = -1;
+          ev_act = act;
+          ev_id = -1;
           ev_args = [ (name, F value) ];
         }
+
+(* Flow events share one (cat, name, id) triple across their lifetime —
+   Chrome matches s/t/f by that triple — so the point kind (issue, inject,
+   deliver, fetch) travels in [args] instead of the name. *)
+let flow ph ~cat ~name ~id ?(tile = -1) ?(act = -1) ~ts ?(args = []) () =
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some s ->
+      push s
+        {
+          ev_cat = cat;
+          ev_name = name;
+          ev_ph = ph;
+          ev_ts = ts;
+          ev_dur = 0;
+          ev_tile = tile;
+          ev_act = act;
+          ev_id = id;
+          ev_args = args;
+        }
+
+let flow_start = flow Flow_start
+let flow_step = flow Flow_step
+let flow_end = flow Flow_end
 
 let latency name v =
   match Domain.DLS.get current with

@@ -21,6 +21,9 @@ type phase =
   | Complete  (** a span: [ts .. ts+dur] *)
   | Instant
   | Counter
+  | Flow_start  (** first point of a causal flow (Chrome ph "s") *)
+  | Flow_step  (** intermediate point (Chrome ph "t") *)
+  | Flow_end  (** terminal point (Chrome ph "f") *)
 
 type event = {
   ev_cat : string;
@@ -30,6 +33,7 @@ type event = {
   ev_dur : int;  (** span duration, ps; 0 otherwise *)
   ev_tile : int;  (** -1 when not tile-attributed *)
   ev_act : int;  (** -1 when not activity-attributed *)
+  ev_id : int;  (** flow id for [Flow_*] events; -1 otherwise *)
   ev_args : (string * value) list;
 }
 
@@ -40,8 +44,15 @@ type sink
     accumulating regardless. *)
 val make : ?max_events:int -> unit -> sink
 
-(** Install [s] as the global sink; tracepoints are live from here on. *)
+(** Install [s] as the global sink; tracepoints are live from here on.
+    Installing also resets every {!at_install}-registered run-local
+    allocator, so identical runs under fresh sinks emit byte-identical
+    traces. *)
 val install : sink -> unit
+
+(** Register a reset hook run by {!install} (e.g. the message uid counter
+    whose values flow events embed).  Call at module-init time only. *)
+val at_install : (unit -> unit) -> unit
 
 val uninstall : unit -> unit
 
@@ -78,7 +89,55 @@ val instant :
   unit
 
 val counter :
-  cat:string -> name:string -> ?tile:int -> ts:int -> value:float -> unit -> unit
+  cat:string ->
+  name:string ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  value:float ->
+  unit ->
+  unit
+
+(** {2 Causal flows}
+
+    A flow links causally-related points across tiles: all points of one
+    flow share [(cat, name, id)] — in practice [cat = "flow"],
+    [name = "msg"], [id] = the message uid — and the point kind (issue,
+    inject, deliver, fetch) travels in [args].  Chrome/Perfetto draw an
+    arrow from each point to the next. *)
+
+val flow_start :
+  cat:string ->
+  name:string ->
+  id:int ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  ?args:(string * value) list ->
+  unit ->
+  unit
+
+val flow_step :
+  cat:string ->
+  name:string ->
+  id:int ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  ?args:(string * value) list ->
+  unit ->
+  unit
+
+val flow_end :
+  cat:string ->
+  name:string ->
+  id:int ->
+  ?tile:int ->
+  ?act:int ->
+  ts:int ->
+  ?args:(string * value) list ->
+  unit ->
+  unit
 
 (** Record a sample into the named latency histogram (ps). *)
 val latency : string -> float -> unit
@@ -98,6 +157,9 @@ val event_count : sink -> int
 
 (** Events discarded after the sink's [max_events] cap was reached. *)
 val dropped : sink -> int
+
+(** The sink's event cap, as passed to {!make}. *)
+val max_events : sink -> int
 
 val histogram : sink -> string -> M3v_sim.Stats.Histogram.t
 val histograms : sink -> (string * M3v_sim.Stats.Histogram.t) list

@@ -102,22 +102,35 @@ type 'a future = {
   fm : Mutex.t;
   fcv : Condition.t;
   home : pool option; (* where to steal work from while awaiting *)
+  merge : (unit -> unit) option Atomic.t;
+      (* folds the task's metrics shard into the submitter's registry;
+         run exactly once, at [await], so shards merge in await (=
+         submission) order and parallel metrics are byte-identical to
+         sequential ones *)
 }
 
-let completed_future st =
+let completed_future ?merge st =
   {
     state = Atomic.make st;
     fm = Mutex.create ();
     fcv = Condition.create ();
     home = None;
+    merge = Atomic.make merge;
   }
 
 let run_to_state f =
   try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
 
 let submit pool f =
+  (* With metrics on, the task records into a private shard no matter
+     which domain runs it (workers, or the submitter when helping). *)
+  let f, merge =
+    match M3v_obs.Metrics.shard_task f with
+    | None -> (f, None)
+    | Some (wrapped, m) -> (wrapped, Some m)
+  in
   match pool with
-  | Seq -> completed_future (run_to_state f)
+  | Seq -> completed_future ?merge (run_to_state f)
   | Par p ->
       let fut =
         {
@@ -125,6 +138,7 @@ let submit pool f =
           fm = Mutex.create ();
           fcv = Condition.create ();
           home = Some p;
+          merge = Atomic.make merge;
         }
       in
       let task () =
@@ -157,10 +171,22 @@ let try_steal p =
   Mutex.unlock p.qm;
   t
 
+(* Run the future's metrics-shard merge exactly once.  Only called after
+   the state left Pending, so the shard is quiescent; the atomic exchange
+   makes a second await a no-op. *)
+let finalize fut =
+  match Atomic.exchange fut.merge None with
+  | Some m -> m ()
+  | None -> ()
+
 let rec await fut =
   match Atomic.get fut.state with
-  | Done v -> v
-  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Done v ->
+      finalize fut;
+      v
+  | Failed (e, bt) ->
+      finalize fut;
+      Printexc.raise_with_backtrace e bt
   | Pending -> (
       match fut.home with
       | Some p when may_help () -> (

@@ -46,7 +46,13 @@ type 'a future
 
 (** [submit pool f] enqueues [f].  On a sequential pool, [f] runs
     immediately on the calling domain.  Exceptions raised by [f] are
-    captured and re-raised (with their backtrace) by {!await}. *)
+    captured and re-raised (with their backtrace) by {!await}.
+
+    When a metrics registry is installed (see [M3v_obs.Metrics]), [f]
+    records into a private per-task shard regardless of which domain runs
+    it, and the shard is folded back into the submitter's registry at
+    {!await} — in await (= submission) order — so parallel metrics output
+    is byte-identical to a sequential run's. *)
 val submit : Pool.t -> (unit -> 'a) -> 'a future
 
 (** Wait for a future.  While waiting, the calling domain executes other

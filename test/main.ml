@@ -16,4 +16,5 @@ let () =
       ("props", Test_props.suite);
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
     ]
