@@ -63,6 +63,9 @@ let tests =
     Test.make ~name:"sim_rpc_m3v" (Staged.stage sim_rpc_m3v);
     Test.make ~name:"ablation_extent"
       (Staged.stage (fun () -> ignore (M3v.Ablations.extent_size ~caps:[ 8; 64 ] ())));
+    Test.make ~name:"ablation_fanin"
+      (Staged.stage (fun () ->
+           ignore (M3v.Exp_fanin.run ~msgs:10 ~sender_counts:[ 4; 16 ] ())));
   ]
 
 let bechamel () =

@@ -105,6 +105,29 @@ let voice_cmd =
                 ~runs ())
           $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
 
+let fanin_msgs =
+  let doc = "Messages per sender (<= 0 picks the default)." in
+  Arg.(value & opt int 0 & info [ "msgs" ] ~docv:"N" ~doc)
+
+let fanin_senders =
+  let doc =
+    "Comma-separated sender counts to sweep (defaults to 4,16,64)."
+  in
+  Arg.(value & opt (list int) [] & info [ "senders" ] ~docv:"N,..." ~doc)
+
+let fanin_cmd =
+  Cmd.v
+    (Cmd.info "fanin"
+       ~doc:
+         "Fan-in ablation: N senders -> 1 server throughput, shared MPMC \
+          receive endpoint (batched acks, coalesced doorbells) vs \
+          per-sender endpoints")
+    Term.(const (fun trace metrics faults fault_seed jobs msgs senders ->
+              M3v.Exp_runner.fanin ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~msgs ~senders ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ fanin_msgs
+          $ fanin_senders)
+
 let chaos_rounds =
   let doc = "Full read+write rounds for the fs workload." in
   Arg.(value & opt int 5 & info [ "rounds" ] ~doc)
@@ -217,6 +240,7 @@ let () =
             table1_cmd;
             complexity_cmd;
             ablations_cmd;
+            fanin_cmd;
             profile_cmd;
             all_cmd;
           ]))

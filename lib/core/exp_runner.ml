@@ -126,6 +126,17 @@ let voice ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
               with_metrics metrics (fun () ->
                   Exp_voice.print (Exp_voice.run ~pool ?runs:(opt runs) ())))))
 
+let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~msgs ~senders () =
+  let sender_counts =
+    match senders with [] -> None | counts -> Some counts
+  in
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              with_metrics metrics (fun () ->
+                  Exp_fanin.print
+                    (Exp_fanin.run ~pool ?msgs:(opt msgs) ?sender_counts ())))))
+
 (* The chaos soak manages its own plan: [Exp_chaos.run] installs the spec
    and seed itself — inside each task, so a sweep can run seeds on worker
    domains.  Only tracing forces it sequential. *)
@@ -222,5 +233,8 @@ let all ?jobs () =
           (fun () ->
             let r = Ablations.run_all ~pool () in
             fun () -> List.iter Ablations.print r);
+          (fun () ->
+            let r = Exp_fanin.run ~pool () in
+            fun () -> Exp_fanin.print r);
         ]
       |> List.iter (fun print -> print ()))

@@ -52,6 +52,14 @@ val voice :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
   ?jobs:int -> runs:int -> unit -> unit
 
+(** Fan-in ablation ({!Exp_fanin}): N senders -> 1 server throughput,
+    shared MPMC receive endpoint vs per-sender endpoints.  [msgs <= 0]
+    picks the default per-sender message count; an empty [senders] list
+    picks the default sweep (4, 16, 64). *)
+val fanin :
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> msgs:int -> senders:int list -> unit -> unit
+
 (** Chaos soak ({!Exp_chaos}): fs + kv workloads on m3fs under fault
     injection, exercising DTU retransmit, the TileMux watchdog,
     controller crash recovery and client RPC deadlines.  [faults]

@@ -57,6 +57,10 @@ type stats = {
   retries : int;
   timeouts : int;
   dup_drops : int;
+  mpmc_deliveries : int;
+  mpmc_doorbells_coalesced : int;
+  mpmc_refund_flushes : int;
+  mpmc_credits_refunded : int;
 }
 
 let empty_stats =
@@ -74,6 +78,10 @@ let empty_stats =
     retries = 0;
     timeouts = 0;
     dup_drops = 0;
+    mpmc_deliveries = 0;
+    mpmc_doorbells_coalesced = 0;
+    mpmc_refund_flushes = 0;
+    mpmc_credits_refunded = 0;
   }
 
 type t = {
@@ -99,6 +107,11 @@ type t = {
   mutable ep_cache_idx : int; (* -1: empty *)
   mutable ep_cache_act : act_id;
   mutable ep_cache_res : (Ep.t, Dtu_types.error) result;
+  (* Credit refunds that arrived while the target send endpoint was
+     Invalid (a refund racing a snapshot/teardown window).  Keyed by
+     endpoint index; applied when a send config is restored into that
+     slot, discarded when the slot is reconfigured for a new purpose. *)
+  pending_refunds : (int, int) Hashtbl.t;
 }
 
 (* Local command processing time inside the DTU's finite state machines
@@ -131,6 +144,7 @@ let create ~virtualized ~tile ?(ep_count = 128) ?(tlb_capacity = 32) engine noc 
     ep_cache_idx = -1;
     ep_cache_act = invalid_act;
     ep_cache_res = Error No_such_ep;
+    pending_refunds = Hashtbl.create 8;
   }
 
 let connect t ~lookup_dtu ~lookup_mem =
@@ -302,13 +316,87 @@ let deliver dst ~dst_ep (msg : Msg.t) =
             dst.msg_arrived owner;
             Ok true
           end
+      | Ep.Mpmc_recv mp ->
+          if Fault.on () && Ep.mp_seen_before mp msg.Msg.uid then begin
+            dst.stats <- { dst.stats with dup_drops = dst.stats.dup_drops + 1 };
+            if Trace.on () then
+              Trace.instant ~cat:"dtu" ~name:"dup_drop" ~tile:dst.tile
+                ~act:e.Ep.owner
+                ~ts:(Engine.now dst.engine)
+                ~args:[ ("ep", Trace.I dst_ep) ]
+                ();
+            Ok false
+          end
+          else if Ep.mp_occupied mp >= mp.Ep.mp_slots then Error Recv_gone
+          else if msg.Msg.size + Msg.header_bytes > mp.Ep.mp_slot_size then
+            Error Recv_gone
+          else begin
+            (* Slot reservation: bump the head counter (atomic in the
+               discrete-event simulation) — N producers share one ring. *)
+            let was_empty = Queue.is_empty mp.Ep.mp_pending in
+            Queue.add msg mp.Ep.mp_pending;
+            mp.Ep.mp_head <- mp.Ep.mp_head + 1;
+            if Fault.on () then Ep.mp_note_seen mp msg.Msg.uid;
+            dst.stats <-
+              {
+                dst.stats with
+                mpmc_deliveries = dst.stats.mpmc_deliveries + 1;
+              };
+            let owner = e.Ep.owner in
+            if Trace.on () then
+              flow_deliver ~uid:msg.Msg.uid ~tile:dst.tile ~act:owner
+                ~ts:(Engine.now dst.engine) ();
+            if Metrics.on () then
+              Metrics.gauge_set ~name:"dtu/mpmc_occupancy" ~tile:dst.tile
+                ~cat:(ep_cat dst_ep)
+                ~ts:(Engine.now dst.engine)
+                (float_of_int (Ep.mp_occupied mp));
+            if dst.virtualized then incr (unread_cell dst owner);
+            (* Doorbell coalescing: only the empty→non-empty transition
+               raises a doorbell; arrivals behind an undrained queue are
+               absorbed by it (the consumer drains until empty before
+               blocking, and the per-message unread counters keep the
+               lost-wakeup net intact). *)
+            if was_empty then begin
+              if dst.virtualized && owner <> dst.cur then
+                push_core_req dst owner;
+              dst.msg_arrived owner
+            end
+            else begin
+              dst.stats <-
+                {
+                  dst.stats with
+                  mpmc_doorbells_coalesced =
+                    dst.stats.mpmc_doorbells_coalesced + 1;
+                };
+              if Metrics.on () then
+                Metrics.counter_incr ~name:"dtu/mpmc_doorbell_coalesced"
+                  ~tile:dst.tile ()
+            end;
+            Ok true
+          end
       | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Recv_gone)
 
-let restore_credit dst_dtu ~ep =
-  match get_ep dst_dtu ep with
-  | Ok { Ep.cfg = Ep.Send s; _ } ->
-      if s.Ep.credits < s.Ep.max_credits then s.Ep.credits <- s.Ep.credits + 1
-  | Ok _ | Error _ -> ()
+(* Grant [n] credits back to the send endpoint [ep] on [dst_dtu].  Grants
+   beyond [max_credits] are dropped (the endpoint was reset to full by a
+   crash-teardown reclaim in the meantime).  If the endpoint is Invalid the
+   refund is parked in [pending_refunds]: a restore of the saved send
+   config re-applies it, while a reconfiguration discards it — either way
+   no credit is minted for the wrong endpoint. *)
+let restore_credit_n dst_dtu ~ep n =
+  if n > 0 && ep >= 0 && ep < Array.length dst_dtu.eps then
+    match dst_dtu.eps.(ep).Ep.cfg with
+    | Ep.Send s ->
+        s.Ep.credits <- min s.Ep.max_credits (s.Ep.credits + n);
+        Ep.check_credits ~ctx:"restore_credit" s
+    | Ep.Invalid ->
+        let cur =
+          Option.value (Hashtbl.find_opt dst_dtu.pending_refunds ep) ~default:0
+        in
+        Hashtbl.replace dst_dtu.pending_refunds ep (cur + n)
+    | Ep.Recv _ | Ep.Mpmc_recv _ | Ep.Mem _ -> ()
+
+let restore_credit dst_dtu ~ep = restore_credit_n dst_dtu ~ep 1
 
 (* --- retransmission ---
 
@@ -434,6 +522,7 @@ let send t ~ep ?reply_ep ?src_vaddr ?issue_ts ~msg_size data ~k =
                 end
                 else begin
                   s.Ep.credits <- s.Ep.credits - 1;
+                  Ep.check_credits ~ctx:"send" s;
                   let reply_to =
                     match reply_ep with
                     | Some rep -> Some (t.tile, rep)
@@ -457,10 +546,11 @@ let send t ~ep ?reply_ep ?src_vaddr ?issue_ts ~msg_size data ~k =
                   transmit t ~dst_tile:s.Ep.dst_tile ~dst_ep:s.Ep.dst_ep ~msg
                     ~on_credit_fail:(fun () ->
                       if s.Ep.credits < s.Ep.max_credits then
-                        s.Ep.credits <- s.Ep.credits + 1)
+                        s.Ep.credits <- s.Ep.credits + 1;
+                      Ep.check_credits ~ctx:"send_refund" s)
                     ~k
                 end)
-      | Ep.Invalid | Ep.Recv _ | Ep.Mem _ ->
+      | Ep.Invalid | Ep.Recv _ | Ep.Mpmc_recv _ | Ep.Mem _ ->
           complete_local t ~k (Error Wrong_ep_type))
 
 (* Free the receive slot a fetched message occupied.  The endpoint must be
@@ -485,6 +575,60 @@ let free_slot t ~ep (msg : Msg.t) =
   | Ok _ -> Error Wrong_ep_type
   | Error e -> Error e
 
+(* Flush the batched credit refunds accumulated at an MPMC endpoint: one
+   credit packet per sender instead of one per message.  Entries are
+   emitted in (tile, send_ep) order so the NoC timeline is independent of
+   hash-table iteration order (required for --jobs byte-identity). *)
+let mpmc_flush_refunds t (mp : Ep.mpmc) =
+  if mp.Ep.mp_refund_total > 0 then begin
+    let entries =
+      Hashtbl.fold (fun key n acc -> (key, n) :: acc) mp.Ep.mp_refunds []
+      |> List.sort compare
+    in
+    Hashtbl.reset mp.Ep.mp_refunds;
+    mp.Ep.mp_refund_total <- 0;
+    List.iter
+      (fun ((src_tile, sep), n) ->
+        t.stats <-
+          {
+            t.stats with
+            mpmc_refund_flushes = t.stats.mpmc_refund_flushes + 1;
+            mpmc_credits_refunded = t.stats.mpmc_credits_refunded + n;
+          };
+        if Metrics.on () then
+          Metrics.counter_incr ~name:"dtu/mpmc_refund_flush" ~tile:t.tile ();
+        (* Credit grants ride the lossless control sideband, like acks. *)
+        Noc.send t.noc ~src:t.tile ~dst:src_tile ~bytes:credit_packet_bytes
+          ~on_delivered:(fun () ->
+            match t.lookup_dtu src_tile with
+            | Some src_dtu -> restore_credit_n src_dtu ~ep:sep n
+            | None -> ()))
+      entries
+  end
+
+(* Release one MPMC ring slot and queue the sender's credit refund; the
+   refund batch flushes when it reaches [mp_ack_batch] or the ring drains
+   (so a quiescent sender is never starved of its credits). *)
+let mpmc_free t ~ep (mp : Ep.mpmc) (msg : Msg.t) =
+  if Ep.mp_occupied mp <= 0 then Error Recv_gone
+  else begin
+    mp.Ep.mp_tail <- mp.Ep.mp_tail + 1;
+    if Metrics.on () then
+      Metrics.gauge_set ~name:"dtu/mpmc_occupancy" ~tile:t.tile ~cat:(ep_cat ep)
+        ~ts:(Engine.now t.engine)
+        (float_of_int (Ep.mp_occupied mp));
+    (match msg.Msg.src_send_ep with
+    | Some sep ->
+        let key = (msg.Msg.src_tile, sep) in
+        let cur = Option.value (Hashtbl.find_opt mp.Ep.mp_refunds key) ~default:0 in
+        Hashtbl.replace mp.Ep.mp_refunds key (cur + 1);
+        mp.Ep.mp_refund_total <- mp.Ep.mp_refund_total + 1
+    | None -> ());
+    if mp.Ep.mp_refund_total >= mp.Ep.mp_ack_batch || Ep.mp_occupied mp = 0 then
+      mpmc_flush_refunds t mp;
+    Ok ()
+  end
+
 let reply t ~recv_ep ~to_msg ?src_vaddr ?issue_ts ~msg_size data ~k =
   t.stats <- { t.stats with replies = t.stats.replies + 1 };
   let k = traced_completion t ~name:"reply" ~k in
@@ -492,7 +636,7 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ?issue_ts ~msg_size data ~k =
   | Error e -> complete_local t ~k (Error e)
   | Ok { Ep.cfg = Ep.Invalid | Ep.Send _ | Ep.Mem _; _ } ->
       complete_local t ~k (Error Wrong_ep_type)
-  | Ok { Ep.cfg = Ep.Recv _; _ } -> (
+  | Ok ({ Ep.cfg = Ep.Recv _ | Ep.Mpmc_recv _; _ } as rep) -> (
   match to_msg.Msg.reply_to with
   | None -> complete_local t ~k (Error Recv_gone)
   | Some (dst_tile, dst_ep) -> (
@@ -502,11 +646,18 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ?issue_ts ~msg_size data ~k =
           (* REPLY implicitly acknowledges the request: the slot frees and
              the sender's credit returns piggybacked on the reply.  If the
              slot was already freed (the message was acked separately) no
-             credit may travel back a second time. *)
+             credit may travel back a second time.  On an MPMC endpoint the
+             refund instead joins the ack batch — nothing piggybacks. *)
           let freed =
-            match free_slot t ~ep:recv_ep to_msg with
-            | Ok () -> true
-            | Error _ -> false
+            match rep.Ep.cfg with
+            | Ep.Mpmc_recv mp -> (
+                match mpmc_free t ~ep:recv_ep mp to_msg with
+                | Ok () -> false (* refund handled by the batched path *)
+                | Error _ -> false)
+            | _ -> (
+                match free_slot t ~ep:recv_ep to_msg with
+                | Ok () -> true
+                | Error _ -> false)
           in
           let msg =
             Msg.make ~src_tile:t.tile ~src_act:t.cur ~label:to_msg.Msg.label
@@ -596,33 +747,72 @@ let fetch t ~ep =
                 flow_fetch ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur ~ts:now ()
               end;
               Ok (Some msg))
+      | Ep.Mpmc_recv mp -> (
+          match Queue.take_opt mp.Ep.mp_pending with
+          | None -> Ok None
+          | Some msg ->
+              if t.virtualized then begin
+                let cell = unread_cell t e.Ep.owner in
+                if !cell > 0 then decr cell
+              end;
+              if Trace.on () then begin
+                let now = Engine.now t.engine in
+                Trace.instant ~cat:"dtu" ~name:"fetch" ~tile:t.tile ~act:t.cur
+                  ~ts:now
+                  ~args:[ ("ep", Trace.I ep) ]
+                  ();
+                flow_fetch ~uid:msg.Msg.uid ~tile:t.tile ~act:t.cur ~ts:now ()
+              end;
+              Ok (Some msg))
       | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> Error Wrong_ep_type)
 
 let ack t ~ep msg =
   t.stats <- { t.stats with acks = t.stats.acks + 1 };
-  match free_slot t ~ep msg with
-  | Error e -> Error e
-  | Ok () ->
-      if Trace.on () then
-        Trace.instant ~cat:"dtu" ~name:"ack" ~tile:t.tile ~act:t.cur
-          ~ts:(Engine.now t.engine)
-          ~args:[ ("ep", Trace.I ep) ]
-          ();
-      (match msg.Msg.src_send_ep with
-      | Some sep ->
-          (* Return the credit to the sending DTU. *)
-          Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
-            ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-              match t.lookup_dtu msg.Msg.src_tile with
-              | Some src_dtu -> restore_credit src_dtu ~ep:sep
-              | None -> ())
-      | None -> ());
-      Ok ()
+  let traced () =
+    if Trace.on () then
+      Trace.instant ~cat:"dtu" ~name:"ack" ~tile:t.tile ~act:t.cur
+        ~ts:(Engine.now t.engine)
+        ~args:[ ("ep", Trace.I ep) ]
+        ()
+  in
+  match get_owned_ep t ep with
+  | Ok { Ep.cfg = Ep.Mpmc_recv mp; _ } -> (
+      (* Batched path: the slot releases immediately, the credit refund
+         coalesces with other acks instead of sending a packet per ack. *)
+      match mpmc_free t ~ep mp msg with
+      | Error e -> Error e
+      | Ok () ->
+          traced ();
+          Ok ())
+  | Ok _ | Error _ -> (
+      match free_slot t ~ep msg with
+      | Error e -> Error e
+      | Ok () ->
+          traced ();
+          (match msg.Msg.src_send_ep with
+          | Some sep ->
+              (* Return the credit to the sending DTU. *)
+              Noc.send t.noc ~src:t.tile ~dst:msg.Msg.src_tile
+                ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                  match t.lookup_dtu msg.Msg.src_tile with
+                  | Some src_dtu -> restore_credit src_dtu ~ep:sep
+                  | None -> ())
+          | None -> ());
+          Ok ())
 
 let has_msgs t ~ep =
   match get_owned_ep t ep with
   | Ok { Ep.cfg = Ep.Recv r; _ } -> not (Queue.is_empty r.Ep.pending)
+  | Ok { Ep.cfg = Ep.Mpmc_recv mp; _ } -> not (Queue.is_empty mp.Ep.mp_pending)
   | Ok _ | Error _ -> false
+
+(* Whether [ep] is configured as an MPMC receive endpoint (any owner); the
+   tile runtime uses this to charge the cheaper ack cost — releasing an
+   MPMC slot is a single MMIO tail-counter store, not a full command. *)
+let is_mpmc t ~ep =
+  ep >= 0
+  && ep < Array.length t.eps
+  && match t.eps.(ep).Ep.cfg with Ep.Mpmc_recv _ -> true | _ -> false
 
 (* --- DMA --- *)
 
@@ -697,7 +887,7 @@ let dma t ~ep ~off ~len ~vaddr ~write ~k ~action =
                                       ~bytes:response_bytes
                                       ~on_delivered:(fun () -> finish (Ok ()))
                                   end)))))
-      | Ep.Invalid | Ep.Send _ | Ep.Recv _ ->
+      | Ep.Invalid | Ep.Send _ | Ep.Recv _ | Ep.Mpmc_recv _ ->
           complete_local t ~k (Error Wrong_ep_type))
 
 let mem_read t ~ep ~off ~len ~dst_vaddr ~dst ~dst_off ~k =
@@ -741,13 +931,22 @@ let check_ep_index t ep =
 
 let ext_config t ~ep ~owner cfg =
   check_ep_index t ep;
+  (* Configs arriving over the external interface must satisfy the credit
+     and occupancy invariants — a restore path must not resurrect an
+     endpoint with credits > max_credits. *)
+  Ep.validate_config ~ctx:"ext_config" cfg;
   invalidate_ep_cache t;
+  (* Reconfiguring the slot for a new purpose discards refunds parked for
+     its previous incarnation: a revoke racing an in-flight refund must
+     not mint credits for the new endpoint. *)
+  Hashtbl.remove t.pending_refunds ep;
   t.eps.(ep).Ep.cfg <- cfg;
   t.eps.(ep).Ep.owner <- owner
 
 let ext_invalidate t ~ep =
   check_ep_index t ep;
   invalidate_ep_cache t;
+  Hashtbl.remove t.pending_refunds ep;
   t.eps.(ep).Ep.cfg <- Ep.Invalid;
   t.eps.(ep).Ep.owner <- invalid_act
 
@@ -764,8 +963,22 @@ let ext_restore_eps t ~first eps =
   invalidate_ep_cache t;
   Array.iteri
     (fun i saved ->
-      check_ep_index t (first + i);
-      t.eps.(first + i) <- Ep.snapshot saved)
+      let idx = first + i in
+      check_ep_index t idx;
+      Ep.validate_config ~ctx:"ext_restore_eps" saved.Ep.cfg;
+      t.eps.(idx) <- Ep.snapshot saved;
+      (* A refund that arrived while this slot sat Invalid (saved but not
+         yet restored) was parked; re-apply it now so the restored send
+         endpoint is not short of credits, capped at max_credits. *)
+      match t.eps.(idx).Ep.cfg with
+      | Ep.Send s -> (
+          match Hashtbl.find_opt t.pending_refunds idx with
+          | Some n ->
+              Hashtbl.remove t.pending_refunds idx;
+              s.Ep.credits <- min s.Ep.max_credits (s.Ep.credits + n);
+              Ep.check_credits ~ctx:"ext_restore_eps" s
+          | None -> ())
+      | _ -> Hashtbl.remove t.pending_refunds idx)
     eps
 
 let ext_inject t ~ep msg =
@@ -810,6 +1023,32 @@ let ext_drain_recv t ~ep =
       in
       loop ();
       !dropped
+  | Ep.Mpmc_recv mp ->
+      let dropped = ref 0 in
+      let rec loop () =
+        match Queue.take_opt mp.Ep.mp_pending with
+        | None -> ()
+        | Some msg ->
+            incr dropped;
+            if Ep.mp_occupied mp > 0 then mp.Ep.mp_tail <- mp.Ep.mp_tail + 1;
+            if t.virtualized then begin
+              let cell = unread_cell t e.Ep.owner in
+              if !cell > 0 then decr cell
+            end;
+            (match msg.Msg.src_send_ep with
+            | Some sep ->
+                let key = (msg.Msg.src_tile, sep) in
+                let cur =
+                  Option.value (Hashtbl.find_opt mp.Ep.mp_refunds key) ~default:0
+                in
+                Hashtbl.replace mp.Ep.mp_refunds key (cur + 1);
+                mp.Ep.mp_refund_total <- mp.Ep.mp_refund_total + 1
+            | None -> ());
+            loop ()
+      in
+      loop ();
+      mpmc_flush_refunds t mp;
+      !dropped
   | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> 0
 
 (* Reconcile a receive endpoint's slot count with its queue after its
@@ -823,6 +1062,11 @@ let ext_release_fetched t ~ep =
       let queued = Queue.length r.Ep.pending in
       let leaked = r.Ep.occupied - queued in
       r.Ep.occupied <- queued;
+      max leaked 0
+  | Ep.Mpmc_recv mp ->
+      let queued = Queue.length mp.Ep.mp_pending in
+      let leaked = Ep.mp_occupied mp - queued in
+      mp.Ep.mp_tail <- mp.Ep.mp_head - queued;
       max leaked 0
   | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> 0
 
@@ -838,7 +1082,8 @@ let ext_reclaim_credits t ~dst_tile ~dst_ep =
       match e.Ep.cfg with
       | Ep.Send s when s.Ep.dst_tile = dst_tile && s.Ep.dst_ep = dst_ep ->
           reclaimed := !reclaimed + (s.Ep.max_credits - s.Ep.credits);
-          s.Ep.credits <- s.Ep.max_credits
+          s.Ep.credits <- s.Ep.max_credits;
+          Ep.check_credits ~ctx:"ext_reclaim_credits" s
       | _ -> ())
     t.eps;
   !reclaimed

@@ -108,6 +108,11 @@ val mem_write :
 (** Whether the endpoint has unread messages (used by polling loops). *)
 val has_msgs : t -> ep:int -> bool
 
+(** Whether [ep] is configured as an MPMC receive endpoint (any owner).
+    The tile runtime charges MPMC acks as a single MMIO store (the
+    tail-counter bump) instead of a full command round trip. *)
+val is_mpmc : t -> ep:int -> bool
+
 (** {1 Privileged interface (vDTU)} *)
 
 val cur_act : t -> Dtu_types.act_id
@@ -201,6 +206,11 @@ type stats = {
   retries : int;  (** retransmitted command attempts (fault injection) *)
   timeouts : int;  (** commands that exhausted their retransmit budget *)
   dup_drops : int;  (** deduplicated message copies dropped on receive *)
+  mpmc_deliveries : int;  (** messages delivered into MPMC rings *)
+  mpmc_doorbells_coalesced : int;
+      (** MPMC arrivals absorbed by an already-pending doorbell *)
+  mpmc_refund_flushes : int;  (** batched credit packets sent by MPMC acks *)
+  mpmc_credits_refunded : int;  (** credits carried by those packets *)
 }
 
 val stats : t -> stats

@@ -31,6 +31,26 @@ val note_seen : recv -> int -> unit
     NoC-duplicated copy). *)
 val seen_before : recv -> int -> bool
 
+type mpmc = {
+  mp_slots : int;  (** shared ring capacity in messages *)
+  mp_slot_size : int;  (** maximum message size (incl. header) per slot *)
+  mp_ack_batch : int;  (** flush threshold for batched credit refunds *)
+  mutable mp_head : int;  (** monotonic reservation counter (bumped at delivery) *)
+  mutable mp_tail : int;  (** monotonic release counter (bumped at ack) *)
+  mp_pending : Msg.t Queue.t;  (** delivered, not yet fetched *)
+  mp_seen : (int, unit) Hashtbl.t;
+  mp_seen_fifo : int Queue.t;
+  mp_refunds : (int * int, int) Hashtbl.t;
+      (** (src_tile, src_send_ep) -> credits owed, flushed in batches *)
+  mutable mp_refund_total : int;
+}
+
+(** Occupancy of the shared ring: [mp_head - mp_tail]. *)
+val mp_occupied : mpmc -> int
+
+val mp_note_seen : mpmc -> int -> unit
+val mp_seen_before : mpmc -> int -> bool
+
 type mem = {
   mem_tile : int;
   base : int;  (** offset within the memory tile *)
@@ -38,7 +58,12 @@ type mem = {
   perm : Dtu_types.perm;
 }
 
-type config = Invalid | Send of send | Recv of recv | Mem of mem
+type config =
+  | Invalid
+  | Send of send
+  | Recv of recv
+  | Mpmc_recv of mpmc
+  | Mem of mem
 
 type t = { mutable cfg : config; mutable owner : Dtu_types.act_id }
 
@@ -49,7 +74,20 @@ val send_config :
   dst_tile:int -> dst_ep:int -> ?label:int -> max_msg_size:int -> credits:int -> unit -> config
 
 val recv_config : slots:int -> slot_size:int -> unit -> config
+
+(** Shared multi-producer receive queue; [ack_batch] (default 16) bounds how
+    many acks may accumulate before a batched credit refund is flushed. *)
+val mpmc_config : slots:int -> slot_size:int -> ?ack_batch:int -> unit -> config
+
 val mem_config : mem_tile:int -> base:int -> size:int -> perm:Dtu_types.perm -> config
+
+(** Raise [Invalid_argument] unless [0 <= credits <= max_credits]; [ctx] names
+    the mutation site for the error message. *)
+val check_credits : ctx:string -> send -> unit
+
+(** Structural sanity for configs arriving over the external interface
+    (restore / ext_config): credit and occupancy bounds. *)
+val validate_config : ctx:string -> config -> unit
 
 (** Deep copy, used by the M3x controller to save endpoint state. *)
 val snapshot : t -> t

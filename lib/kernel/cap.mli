@@ -12,6 +12,10 @@
 type rgate = {
   rg_slots : int;
   rg_slot_size : int;
+  rg_mpmc : bool;
+      (** shared multi-producer receive queue: many sgates may be delegated
+          against it and the receiver acks in batches *)
+  rg_ack_batch : int;  (** credit-refund flush threshold (MPMC only) *)
   mutable rg_loc : (int * int) option;  (** (tile, endpoint) once activated *)
 }
 

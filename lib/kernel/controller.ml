@@ -208,7 +208,34 @@ let host_new_rgate t ~act ~slots ~slot_size =
   let sel = new_sel a in
   let cap =
     Cap.make ~sel ~owner:act
-      (Cap.Rgate { rg_slots = slots; rg_slot_size = slot_size; rg_loc = None })
+      (Cap.Rgate
+         {
+           rg_slots = slots;
+           rg_slot_size = slot_size;
+           rg_mpmc = false;
+           rg_ack_batch = 1;
+           rg_loc = None;
+         })
+  in
+  put_cap a cap;
+  sel
+
+(* A shared multi-producer receive gate: send gates delegated against it
+   from any number of activities all target the same endpoint, and the
+   receiver's acks batch credit refunds ([ack_batch] per flush). *)
+let host_new_mpmc_rgate t ~act ~slots ~slot_size ?(ack_batch = 16) () =
+  let a = find_act t act in
+  let sel = new_sel a in
+  let cap =
+    Cap.make ~sel ~owner:act
+      (Cap.Rgate
+         {
+           rg_slots = slots;
+           rg_slot_size = slot_size;
+           rg_mpmc = true;
+           rg_ack_batch = ack_batch;
+           rg_loc = None;
+         })
   in
   put_cap a cap;
   sel
@@ -253,6 +280,10 @@ let find_cap t ~act ~sel =
 (* Compute the endpoint configuration an activation implies. *)
 let activation_config cap =
   match cap.Cap.obj with
+  | Cap.Rgate rg when rg.Cap.rg_mpmc ->
+      Ok
+        (Ep.mpmc_config ~slots:rg.Cap.rg_slots ~slot_size:rg.Cap.rg_slot_size
+           ~ack_batch:rg.Cap.rg_ack_batch ())
   | Cap.Rgate rg ->
       Ok (Ep.recv_config ~slots:rg.Cap.rg_slots ~slot_size:rg.Cap.rg_slot_size ())
   | Cap.Sgate { sg_rgate; sg_label; sg_credits } -> (
@@ -635,6 +666,11 @@ let handle_sys t (msg : Msg.t) req ~k =
   | Protocol.Create_rgate { slots; slot_size } ->
       let sel = host_new_rgate t ~act:requester.aid ~slots ~slot_size in
       finish (Protocol.Ok_sel sel)
+  | Protocol.Create_mpmc_rgate { slots; slot_size; ack_batch } ->
+      let sel =
+        host_new_mpmc_rgate t ~act:requester.aid ~slots ~slot_size ~ack_batch ()
+      in
+      finish (Protocol.Ok_sel sel)
   | Protocol.Create_sgate_for { target; rgate_sel; label; credits } -> (
       match find_cap t ~act:requester.aid ~sel:rgate_sel with
       | Some rcap when rcap.Cap.live -> (
@@ -850,6 +886,7 @@ let req_name (data : Msg.data) =
       | Protocol.Noop -> "sys/noop"
       | Protocol.Alloc_mem _ -> "sys/alloc_mem"
       | Protocol.Create_rgate _ -> "sys/create_rgate"
+      | Protocol.Create_mpmc_rgate _ -> "sys/create_mpmc_rgate"
       | Protocol.Create_sgate_for _ -> "sys/create_sgate_for"
       | Protocol.Derive_mem_for _ -> "sys/derive_mem_for"
       | Protocol.Activate _ -> "sys/activate"

@@ -58,6 +58,19 @@ val host_alloc_mem : t -> size:int -> int * int
 val host_new_rgate :
   t -> act:M3v_dtu.Dtu_types.act_id -> slots:int -> slot_size:int -> int
 
+(** Create a shared multi-producer (MPMC) receive gate: send gates delegated
+    against it from many activities all target the same endpoint, and the
+    receiver's acks batch credit refunds ([ack_batch] per flush, default
+    16). *)
+val host_new_mpmc_rgate :
+  t ->
+  act:M3v_dtu.Dtu_types.act_id ->
+  slots:int ->
+  slot_size:int ->
+  ?ack_batch:int ->
+  unit ->
+  int
+
 val host_new_sgate :
   t ->
   owner:M3v_dtu.Dtu_types.act_id ->

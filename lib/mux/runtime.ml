@@ -429,7 +429,7 @@ and mx_slow_send t (a : arec) ~ep ~reply_ep ~size ~data ~k =
            { fwd_dst_tile = s.Ep.dst_tile; fwd_dst_ep = s.Ep.dst_ep; fwd;
              fwd_block = false })
         ~k
-  | Ep.Invalid | Ep.Recv _ | Ep.Mem _ ->
+  | Ep.Invalid | Ep.Recv _ | Ep.Mpmc_recv _ | Ep.Mem _ ->
       failwith "Runtime: slow-path send on a non-send endpoint"
 
 and mx_slow_reply t (a : arec) ~(to_msg : Msg.t) ~size ~data ~k =
@@ -563,7 +563,13 @@ and interp_op t (a : arec) op (k : Proc.resp -> unit) =
       do_reply t a ~recv_ep:rp_recv_ep ~msg:rp_msg ~vaddr:rp_vaddr ~size:rp_size
         ~data:rp_data ~k
   | Op_ack { a_ep; a_msg } ->
-      charge_act t a (Core_model.cmd_overhead_cycles t.core) (fun () ->
+      (* Acking an MPMC slot is one MMIO store (the shared ring's tail
+         bump); a regular ack is a full DTU command round trip. *)
+      let ack_cost =
+        if Dtu.is_mpmc t.dtu ~ep:a_ep then t.core.Core_model.mmio_cycles
+        else Core_model.cmd_overhead_cycles t.core
+      in
+      charge_act t a ack_cost (fun () ->
           match Dtu.ack t.dtu ~ep:a_ep a_msg with
           | Ok () -> k Proc.Unit
           | Error e -> failwith ("Runtime: ack failed: " ^ Dtu_types.error_to_string e))

@@ -414,6 +414,293 @@ let test_tlb_perm_upgrade_counted () =
   check_int "one perm upgrade" 1 st.Tlb.perm_upgrades;
   check_int "one true miss" 1 st.Tlb.misses
 
+(* --- MPMC receive endpoints: shared fan-in rings --- *)
+
+module Fault = M3v_fault.Fault
+
+(* MPMC ring on d1 ep1 (owned by act 7); two send gates on d0 (ep1 and
+   ep2, both act 0) target it — the minimal multi-producer setup. *)
+let setup_mpmc ?(credits = 2) ?(slots = 8) ?(ack_batch = 4) f =
+  Dtu.ext_config f.d1 ~ep:1 ~owner:7
+    (Ep.mpmc_config ~slots ~slot_size:256 ~ack_batch ());
+  Dtu.ext_config f.d0 ~ep:1 ~owner:0
+    (Ep.send_config ~dst_tile:1 ~dst_ep:1 ~label:1 ~max_msg_size:240 ~credits ());
+  Dtu.ext_config f.d0 ~ep:2 ~owner:0
+    (Ep.send_config ~dst_tile:1 ~dst_ep:1 ~label:2 ~max_msg_size:240 ~credits ());
+  ignore (Dtu.switch_act f.d0 ~next:0);
+  ignore (Dtu.switch_act f.d1 ~next:7)
+
+let send_from f ~ep ~size data =
+  let result = ref None in
+  Dtu.send f.d0 ~ep ~msg_size:size data ~k:(fun r -> result := Some r);
+  ignore (Engine.run f.eng);
+  Option.get !result
+
+let sender_credits f ~ep =
+  match (Dtu.ext_read_ep f.d0 ~ep).Ep.cfg with
+  | Ep.Send s -> s.Ep.credits
+  | _ -> Alcotest.fail "not a send endpoint"
+
+let test_mpmc_multi_sender_fanin () =
+  let f = make_fabric () in
+  setup_mpmc ~credits:2 ~slots:8 ~ack_batch:4 f;
+  List.iter
+    (fun (ep, i) ->
+      match send_from f ~ep ~size:16 (Ping i) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send %d: %s" i (Dtu_types.error_to_string e))
+    [ (1, 0); (2, 1); (1, 2); (2, 3) ];
+  check_int "all unread for the owner" 4 (Dtu.unread_of f.d1 7);
+  check_int "both senders exhausted" 0
+    (sender_credits f ~ep:1 + sender_credits f ~ep:2);
+  (* FIFO across producers; acks through the shared ring refund both. *)
+  for i = 0 to 3 do
+    match Dtu.fetch f.d1 ~ep:1 with
+    | Ok (Some msg) ->
+        (match msg.Msg.data with
+        | Ping j -> check_int "fifo across producers" i j
+        | _ -> Alcotest.fail "payload");
+        (match Dtu.ack f.d1 ~ep:1 msg with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "ack: %s" (Dtu_types.error_to_string e))
+    | _ -> Alcotest.fail "fetch"
+  done;
+  ignore (Engine.run f.eng);
+  check_int "sender 1 replenished" 2 (sender_credits f ~ep:1);
+  check_int "sender 2 replenished" 2 (sender_credits f ~ep:2);
+  let st = Dtu.stats f.d1 in
+  check_int "mpmc deliveries" 4 st.Dtu.mpmc_deliveries;
+  check_bool "refunds travelled batched" true (st.Dtu.mpmc_refund_flushes >= 1);
+  check_int "every credit refunded" 4 st.Dtu.mpmc_credits_refunded
+
+let test_mpmc_doorbell_coalesced_while_backed_up () =
+  let f = make_fabric () in
+  setup_mpmc ~credits:4 ~slots:8 f;
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  let irqs = ref 0 in
+  Dtu.set_core_req_irq f.d1 (fun () -> incr irqs);
+  for i = 0 to 2 do
+    match send_from f ~ep:1 ~size:8 (Ping i) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send: %s" (Dtu_types.error_to_string e)
+  done;
+  (* Only the empty->non-empty transition rings; the rest coalesce. *)
+  check_int "single doorbell for a backed-up ring" 1 !irqs;
+  check_int "one core request queued" 1 (Dtu.core_req_depth f.d1);
+  check_int "every message still counted unread" 3 (Dtu.unread_of f.d1 7);
+  check_int "two doorbells coalesced" 2
+    (Dtu.stats f.d1).Dtu.mpmc_doorbells_coalesced;
+  (match Dtu.fetch_core_req f.d1 with
+  | Some 7 -> ()
+  | _ -> Alcotest.fail "core request must name the ring owner");
+  Dtu.ack_core_req f.d1;
+  ignore (Engine.run f.eng);
+  (* Drain the ring: the next delivery is a fresh transition and rings. *)
+  ignore (Dtu.switch_act f.d1 ~next:7);
+  for _ = 0 to 2 do
+    match Dtu.fetch f.d1 ~ep:1 with
+    | Ok (Some msg) -> ignore (Dtu.ack f.d1 ~ep:1 msg)
+    | _ -> Alcotest.fail "drain fetch"
+  done;
+  ignore (Engine.run f.eng);
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  (match send_from f ~ep:1 ~size:8 (Ping 9) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" (Dtu_types.error_to_string e));
+  check_int "doorbell rings again after drain" 2 !irqs
+
+let test_mpmc_full_ring_backpressure () =
+  let f = make_fabric () in
+  setup_mpmc ~credits:4 ~slots:1 ~ack_batch:1 f;
+  (match send_from f ~ep:1 ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send 1");
+  (match send_from f ~ep:2 ~size:8 (Ping 2) with
+  | Error Dtu_types.Recv_gone -> ()
+  | _ -> Alcotest.fail "second send must find the ring full");
+  check_int "failed send refunded its credit" 4 (sender_credits f ~ep:2);
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some msg) -> ignore (Dtu.ack f.d1 ~ep:1 msg)
+  | _ -> Alcotest.fail "fetch");
+  ignore (Engine.run f.eng);
+  match send_from f ~ep:2 ~size:8 (Ping 3) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send after drain: %s" (Dtu_types.error_to_string e)
+
+(* A batched refund that lands while the sender's endpoint sits in an
+   M3x-style snapshot window (Invalid) must be parked and re-applied on
+   restore — not dropped (credit leak) and never applied twice. *)
+let test_mpmc_refund_survives_snapshot_window () =
+  let f = make_fabric () in
+  setup_mpmc ~credits:2 ~slots:8 ~ack_batch:100 f;
+  (match send_from f ~ep:1 ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send 1");
+  (match send_from f ~ep:1 ~size:8 (Ping 2) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send 2");
+  let saved = Dtu.ext_snapshot_eps f.d0 ~first:1 ~count:1 in
+  Dtu.ext_invalidate f.d0 ~ep:1;
+  (* Draining the ring flushes the batched refund into the Invalid slot. *)
+  for _ = 1 to 2 do
+    match Dtu.fetch f.d1 ~ep:1 with
+    | Ok (Some msg) -> ignore (Dtu.ack f.d1 ~ep:1 msg)
+    | _ -> Alcotest.fail "fetch"
+  done;
+  ignore (Engine.run f.eng);
+  Dtu.ext_restore_eps f.d0 ~first:1 saved;
+  check_int "parked refunds applied on restore" 2 (sender_credits f ~ep:1);
+  match send_from f ~ep:1 ~size:8 (Ping 3) with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "send after restore: %s" (Dtu_types.error_to_string e)
+
+(* Reconfiguring the slot (revoke + re-delegate) must discard the parked
+   refund: credits of the revoked gate are not minted into the new one. *)
+let test_mpmc_refund_discarded_on_reconfigure () =
+  let f = make_fabric () in
+  setup_mpmc ~credits:2 ~slots:8 ~ack_batch:100 f;
+  (match send_from f ~ep:1 ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send 1");
+  (match send_from f ~ep:1 ~size:8 (Ping 2) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send 2");
+  Dtu.ext_invalidate f.d0 ~ep:1;
+  for _ = 1 to 2 do
+    match Dtu.fetch f.d1 ~ep:1 with
+    | Ok (Some msg) -> ignore (Dtu.ack f.d1 ~ep:1 msg)
+    | _ -> Alcotest.fail "fetch"
+  done;
+  ignore (Engine.run f.eng);
+  Dtu.ext_config f.d0 ~ep:1 ~owner:0
+    (Ep.send_config ~dst_tile:1 ~dst_ep:1 ~label:1 ~max_msg_size:240 ~credits:1 ());
+  check_int "fresh gate keeps its own credits" 1 (sender_credits f ~ep:1);
+  (match send_from f ~ep:1 ~size:8 (Ping 9) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send through fresh gate");
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some msg) -> ignore (Dtu.ack f.d1 ~ep:1 msg)
+  | _ -> Alcotest.fail "fetch through fresh gate");
+  ignore (Engine.run f.eng);
+  check_int "never above the fresh gate's max" 1 (sender_credits f ~ep:1)
+
+(* Regression: the owned-endpoint memo cache must not keep serving an
+   MPMC endpoint whose capability was revoked or re-delegated mid-run. *)
+let test_mpmc_stale_memo_after_revoke () =
+  let f = make_fabric () in
+  setup_mpmc f;
+  (match send_from f ~ep:1 ~size:8 (Ping 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send");
+  (* Prime the memo with a successful owned lookup... *)
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "fetch");
+  (* ...then revoke: the stale memo must not serve the dead endpoint. *)
+  Dtu.ext_invalidate f.d1 ~ep:1;
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Error Dtu_types.No_such_ep -> ()
+  | _ -> Alcotest.fail "stale memo served a revoked endpoint");
+  (* Re-delegating the slot to another activity stays hidden from act 7. *)
+  Dtu.ext_config f.d1 ~ep:1 ~owner:3 (Ep.mpmc_config ~slots:4 ~slot_size:256 ());
+  (match Dtu.fetch f.d1 ~ep:1 with
+  | Error Dtu_types.Unknown_ep -> ()
+  | _ -> Alcotest.fail "foreign MPMC endpoint must be hidden");
+  ignore (Dtu.switch_act f.d1 ~next:3);
+  match Dtu.fetch f.d1 ~ep:1 with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "new owner must see a fresh empty ring"
+
+(* Exactly-once delivery and global credit conservation under random
+   fault plans: at every quiescent point
+       credits(s1) + credits(s2) + ring occupancy + batched refunds
+   equals the total credit budget, and after a full drain every payload
+   whose send was acknowledged arrived exactly once (retransmission
+   recovers drops, receive-side dedup swallows duplicates). *)
+let prop_mpmc_exactly_once_conserved =
+  QCheck.Test.make
+    ~name:"MPMC: exactly-once + credit conservation under random faults"
+    ~count:25
+    QCheck.(
+      pair
+        (pair small_int (pair (int_bound 25) (int_bound 25)))
+        (list_of_size (Gen.int_range 1 40) (int_bound 3)))
+    (fun ((seed, (drop100, dup100)), script) ->
+      let spec =
+        {
+          Fault.none with
+          drop = float_of_int drop100 /. 100.;
+          dup = float_of_int dup100 /. 100.;
+          delay = 0.05;
+        }
+      in
+      let plan = Fault.create ~seed:(seed + 1) spec in
+      Fault.with_plan plan (fun () ->
+          let credits = 2 in
+          let f = make_fabric () in
+          setup_mpmc ~credits ~slots:8 ~ack_batch:3 f;
+          let next = ref 0 in
+          let sent_ok = ref [] in
+          let fetched = Queue.create () in
+          let got = ref [] in
+          let ok = ref true in
+          let payload m = match m.Msg.data with Ping i -> i | _ -> -1 in
+          let credit_sum () =
+            match (Dtu.ext_read_ep f.d1 ~ep:1).Ep.cfg with
+            | Ep.Mpmc_recv mp ->
+                sender_credits f ~ep:1 + sender_credits f ~ep:2
+                + Ep.mp_occupied mp + mp.Ep.mp_refund_total
+            | _ -> Alcotest.fail "mpmc ep vanished"
+          in
+          let send ep =
+            let i = !next in
+            incr next;
+            Dtu.send f.d0 ~ep ~msg_size:16 (Ping i) ~k:(fun r ->
+                if r = Ok () then sent_ok := i :: !sent_ok)
+          in
+          List.iter
+            (fun op ->
+              (match op with
+              | 0 -> send 1
+              | 1 -> send 2
+              | 2 -> (
+                  match Dtu.fetch f.d1 ~ep:1 with
+                  | Ok (Some m) -> Queue.add m fetched
+                  | Ok None | Error _ -> ())
+              | _ -> (
+                  match Queue.take_opt fetched with
+                  | Some m ->
+                      got := payload m :: !got;
+                      ignore (Dtu.ack f.d1 ~ep:1 m)
+                  | None -> ()));
+              ignore (Engine.run f.eng);
+              if credit_sum () <> 2 * credits then ok := false)
+            script;
+          (* Drain and ack everything still buffered; the ledger must
+             balance and the delivered multiset must match the acked
+             sends exactly. *)
+          Queue.iter
+            (fun m ->
+              got := payload m :: !got;
+              ignore (Dtu.ack f.d1 ~ep:1 m))
+            fetched;
+          ignore (Engine.run f.eng);
+          let rec drain () =
+            match Dtu.fetch f.d1 ~ep:1 with
+            | Ok (Some m) ->
+                got := payload m :: !got;
+                ignore (Dtu.ack f.d1 ~ep:1 m);
+                ignore (Engine.run f.eng);
+                drain ()
+            | Ok None | Error _ -> ()
+          in
+          drain ();
+          !ok
+          && List.sort compare !got = List.sort compare !sent_ok
+          && sender_credits f ~ep:1 = credits
+          && sender_credits f ~ep:2 = credits))
+
 let test_dram_contention () =
   let dram = Dram.create ~size:4096 () in
   let t1 = Dram.access_time dram ~now:0 ~bytes:1024 in
@@ -445,4 +732,17 @@ let suite =
     ("tlb fifo stays bounded", `Quick, test_tlb_fifo_stays_bounded);
     ("tlb perm upgrades counted", `Quick, test_tlb_perm_upgrade_counted);
     ("dram contention", `Quick, test_dram_contention);
+    ("mpmc multi-sender fan-in", `Quick, test_mpmc_multi_sender_fanin);
+    ( "mpmc doorbell coalescing",
+      `Quick,
+      test_mpmc_doorbell_coalesced_while_backed_up );
+    ("mpmc full ring backpressure", `Quick, test_mpmc_full_ring_backpressure);
+    ( "mpmc refund survives snapshot window",
+      `Quick,
+      test_mpmc_refund_survives_snapshot_window );
+    ( "mpmc refund discarded on reconfigure",
+      `Quick,
+      test_mpmc_refund_discarded_on_reconfigure );
+    ("mpmc stale memo after revoke", `Quick, test_mpmc_stale_memo_after_revoke);
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_mpmc_exactly_once_conserved ]

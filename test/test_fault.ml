@@ -334,6 +334,22 @@ let test_chaos_deterministic () =
   check_bool "fs workload made progress" true (r1.Exp_chaos.fs_rounds > 0);
   check_bool "kv workload made progress" true (r1.Exp_chaos.kv_ok > 0)
 
+(* Rerunning the fan-in ablation under the same fault plan must produce
+   the identical result: MPMC dedup, batched refunds and doorbell
+   coalescing are all deterministic. *)
+let test_fanin_rerun_identical_under_faults () =
+  let run () =
+    let plan =
+      Fault.create ~seed:11
+        { Fault.none with drop = 0.02; dup = 0.01; delay = 0.02 }
+    in
+    Fault.with_plan plan (fun () ->
+        M3v.Exp_fanin.throughput ~mode:M3v.Exp_fanin.Mpmc ~senders:4 ~msgs:5)
+  in
+  let r1 = run () in
+  check_bool "fan-in made progress under faults" true (r1 > 0.0);
+  check_bool "fan-in rerun identical under faults" true (r1 = run ())
+
 let suite =
   [
     ("rng bounds and uniformity", `Quick, test_rng_bounds_uniform);
@@ -350,6 +366,8 @@ let suite =
     ("watchdog kills and restarts hung act", `Quick,
      test_watchdog_kills_and_restarts_hung_act);
     ("chaos run is deterministic", `Slow, test_chaos_deterministic);
+    ("fan-in rerun identical under faults", `Quick,
+     test_fanin_rerun_identical_under_faults);
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_spec_roundtrip; prop_faulty_credit_conservation ]

@@ -76,6 +76,12 @@ let test_fig9_parallel_equals_sequential () =
   let par = Par.Pool.with_pool ~jobs:4 run in
   check_bool "fig9 results identical" true (seq = par)
 
+let test_fanin_parallel_equals_sequential () =
+  let run pool = M3v.Exp_fanin.run ~pool ~msgs:5 ~sender_counts:[ 2; 4 ] () in
+  let seq = run Par.Pool.sequential in
+  let par = Par.Pool.with_pool ~jobs:4 run in
+  check_bool "fan-in results identical" true (seq = par)
+
 let test_chaos_sweep_parallel_equals_sequential () =
   let sweep pool =
     M3v.Exp_chaos.run_sweep ~pool ~seeds:3 ~fs_rounds:2 ~kv_ops:30 ()
@@ -302,6 +308,8 @@ let suite =
       test_fig9_parallel_equals_sequential;
     Alcotest.test_case "chaos sweep: parallel == sequential" `Slow
       test_chaos_sweep_parallel_equals_sequential;
+    Alcotest.test_case "fan-in ablation: parallel == sequential" `Slow
+      test_fanin_parallel_equals_sequential;
     Alcotest.test_case "event queue: clear then reuse" `Quick
       test_queue_clear_reuse;
     Alcotest.test_case "event queue: two payloads + empty accessors" `Quick
