@@ -66,6 +66,11 @@ let tests =
     Test.make ~name:"ablation_fanin"
       (Staged.stage (fun () ->
            ignore (M3v.Exp_fanin.run ~msgs:10 ~sender_counts:[ 4; 16 ] ())));
+    (* Not in BENCH_baseline.json yet: the compare gate must warn-and-skip
+       it, not fail. *)
+    Test.make ~name:"ablation_migrate"
+      (Staged.stage (fun () ->
+           ignore (M3v.Exp_migrate.run ~rounds:60 ~rates:[ 10_000 ] ())));
   ]
 
 let bechamel () =

@@ -128,6 +128,34 @@ let fanin_cmd =
           $ trace $ metrics $ faults $ fault_seed $ jobs $ fanin_msgs
           $ fanin_senders)
 
+let mig_rounds =
+  let doc = "RPCs the client drives through the migrating server." in
+  Arg.(value & opt int 0 & info [ "rounds" ] ~doc)
+
+let mig_rates =
+  let doc =
+    "Comma-separated request rates (msgs/s) to sweep (defaults to \
+     2000,10000,40000)."
+  in
+  Arg.(value & opt (list int) [] & info [ "rates" ] ~docv:"N,..." ~doc)
+
+let mig_seed =
+  let doc = "Seed for the fault plan of the faulty half of the sweep." in
+  Arg.(value & opt int 11 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let migrate_cmd =
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Live-migration ablation: an echo server is migrated between \
+          tiles under a paced RPC stream; reports downtime vs message \
+          rate and verifies exactly-once delivery, clean and with \
+          injected migration aborts")
+    Term.(const (fun trace metrics jobs seed rounds rates ->
+              M3v.Exp_runner.migrate ?trace ?metrics ?jobs ~seed ~rounds
+                ~rates ())
+          $ trace $ metrics $ jobs $ mig_seed $ mig_rounds $ mig_rates)
+
 let chaos_rounds =
   let doc = "Full read+write rounds for the fs workload." in
   Arg.(value & opt int 5 & info [ "rounds" ] ~doc)
@@ -143,18 +171,51 @@ let chaos_seeds =
   in
   Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
 
+let chaos_ckpt_every =
+  let doc =
+    "Checkpoint the whole simulator every $(docv) simulated milliseconds \
+     (to --checkpoint-file); a run resumed from such a checkpoint prints \
+     a byte-identical report.  Single-seed; incompatible with --trace."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"MS" ~doc)
+
+let chaos_ckpt_file =
+  let doc = "Checkpoint file path (overwritten atomically at each save)." in
+  Arg.(value
+       & opt string "chaos.ckpt"
+       & info [ "checkpoint-file" ] ~docv:"FILE" ~doc)
+
+let chaos_stop_after =
+  let doc =
+    "Abandon the run after the $(docv)-th checkpoint is written (resume \
+     later with --resume); with 0, run to completion."
+  in
+  Arg.(value & opt int 0 & info [ "stop-after" ] ~docv:"N" ~doc)
+
+let chaos_resume =
+  let doc =
+    "Resume a checkpointed soak from $(docv) instead of starting one \
+     (must be the same m3vsim binary that wrote it)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Chaos soak: fs + kvstore workloads under fault injection \
           (defaults to drop=0.01,dup=0.005,delay=0.01,cmd_fail=0.005,\
-          crash=2,hang=1 when --faults is omitted)")
-    Term.(const (fun trace faults fault_seed jobs seeds rounds ops ->
+          crash=2,hang=1 when --faults is omitted); \
+          --checkpoint-every/--resume stop and restart the soak across \
+          processes with byte-identical results")
+    Term.(const (fun trace faults fault_seed jobs seeds ckpt_every ckpt_file
+                     stop_after resume rounds ops ->
               M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ?jobs ~seeds
-                ~rounds ~ops ())
-          $ trace $ faults $ fault_seed $ jobs $ chaos_seeds $ chaos_rounds
-          $ chaos_ops)
+                ~checkpoint_every_ms:ckpt_every ~checkpoint_file:ckpt_file
+                ~stop_after ?resume ~rounds ~ops ())
+          $ trace $ faults $ fault_seed $ jobs $ chaos_seeds
+          $ chaos_ckpt_every $ chaos_ckpt_file $ chaos_stop_after
+          $ chaos_resume $ chaos_rounds $ chaos_ops)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
@@ -237,6 +298,7 @@ let () =
             fig10_cmd;
             voice_cmd;
             chaos_cmd;
+            migrate_cmd;
             table1_cmd;
             complexity_cmd;
             ablations_cmd;

@@ -274,7 +274,12 @@ type delta = {
   pct : float option;
 }
 
-type comparison = { deltas : delta list; regressions : delta list }
+type comparison = {
+  deltas : delta list;
+  regressions : delta list;
+  baseline_only : string list;
+  current_only : string list;
+}
 
 let compare ~threshold_pct ~baseline ~current =
   let find name results =
@@ -282,35 +287,42 @@ let compare ~threshold_pct ~baseline ~current =
       (fun r -> if r.name = name then Some r.ns_per_run else None)
       results
   in
+  (* Entries present in only one report are skipped (and surfaced as
+     warnings by [pp_comparison]) rather than rendered as half-empty
+     delta rows: a retired or freshly added benchmark is not a
+     regression, and must not pad the table the CI gate diffs. *)
   let paired =
-    List.map
+    List.filter_map
       (fun b ->
-        let cur_ns = Option.join (find b.name current.results) in
-        let pct =
-          match (b.ns_per_run, cur_ns) with
-          | Some base, Some cur when base > 0.0 ->
-              Some ((cur -. base) /. base *. 100.0)
-          | _ -> None
-        in
-        { test = b.name; base_ns = b.ns_per_run; cur_ns; pct })
+        match find b.name current.results with
+        | None -> None
+        | Some cur_ns ->
+            let pct =
+              match (b.ns_per_run, cur_ns) with
+              | Some base, Some cur when base > 0.0 ->
+                  Some ((cur -. base) /. base *. 100.0)
+              | _ -> None
+            in
+            Some { test = b.name; base_ns = b.ns_per_run; cur_ns; pct })
       baseline.results
   in
-  let added =
+  let only_in results other =
     List.filter_map
-      (fun c ->
-        if find c.name baseline.results = None then
-          Some { test = c.name; base_ns = None; cur_ns = c.ns_per_run; pct = None }
-        else None)
-      current.results
+      (fun r -> if find r.name other = None then Some r.name else None)
+      results
   in
-  let deltas = paired @ added in
   let regressions =
     List.filter
       (fun d -> match d.pct with Some p -> p > threshold_pct | None -> false)
-      deltas
+      paired
     |> List.sort (fun a b -> Stdlib.compare b.pct a.pct)
   in
-  { deltas; regressions }
+  {
+    deltas = paired;
+    regressions;
+    baseline_only = only_in baseline.results current.results;
+    current_only = only_in current.results baseline.results;
+  }
 
 let pp_comparison ~threshold_pct ~baseline ~current ff cmp =
   let pp_ns ff = function
@@ -339,6 +351,16 @@ let pp_comparison ~threshold_pct ~baseline ~current ff cmp =
           Format.fprintf ff "  %-18s %a %a %9s@." d.test pp_ns d.base_ns pp_ns
             d.cur_ns "-")
     cmp.deltas;
+  List.iter
+    (fun name ->
+      Format.fprintf ff
+        "  warning: %s is only in the baseline report (skipped)@." name)
+    cmp.baseline_only;
+  List.iter
+    (fun name ->
+      Format.fprintf ff
+        "  warning: %s is only in the current report (skipped)@." name)
+    cmp.current_only;
   match cmp.regressions with
   | [] ->
       Format.fprintf ff "@.OK: no benchmark regressed by more than %.0f%%@."

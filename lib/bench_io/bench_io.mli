@@ -68,15 +68,18 @@ type delta = {
 }
 
 type comparison = {
-  deltas : delta list;  (** baseline order, then current-only tests *)
+  deltas : delta list;  (** tests present in both reports, baseline order *)
   regressions : delta list;
       (** deltas with [pct > threshold], slowest first *)
+  baseline_only : string list;  (** retired tests, skipped with a warning *)
+  current_only : string list;  (** new tests, skipped with a warning *)
 }
 
 (** [compare ~threshold_pct ~baseline ~current] pairs up tests by name.
-    Tests present on only one side get [pct = None] and never count as
-    regressions (CI should not fail when a benchmark is added or
-    retired). *)
+    Tests present in only one report are skipped — listed in
+    [baseline_only]/[current_only] and printed as warnings by
+    {!pp_comparison} — and never count as regressions (CI must not fail
+    when a benchmark is added or retired). *)
 val compare :
   threshold_pct:float -> baseline:report -> current:report -> comparison
 

@@ -62,6 +62,8 @@ let extent_size ?(caps = [ 1; 4; 16; 64 ]) () =
 
 type Msg.data += Ab_ping
 
+let () = M3v_sim.Checkpoint.register_exts [ [%extension_constructor Ab_ping] ]
+
 let tlb_run ~tlb_capacity ~pages =
   let sys = System.create ~tlb_capacity ~variant:System.M3v () in
   let rgate = ref (-1) in

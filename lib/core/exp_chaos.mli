@@ -34,6 +34,43 @@ val run :
   unit ->
   result
 
+(** {1 Checkpoint/restore}
+
+    A checkpointed soak periodically marshals the whole simulator
+    ({!M3v_sim.Checkpoint}) so the run can be stopped and resumed across
+    OS processes of the same binary.  Slicing the run at checkpoint
+    instants does not change the event order, so a resumed run's report is
+    byte-identical to an uninterrupted one's.  Unsupported together with a
+    live trace sink (channels cannot be marshalled). *)
+
+type ckpt_outcome =
+  | Completed of result
+  | Suspended of { checkpoints : int; file : string }
+      (** stopped after writing [checkpoints] checkpoints; resume from
+          [file] *)
+
+(** Like {!run}, but checkpoint to [file] at every multiple of [every]
+    simulated time (overwriting, atomically); with [stop_after:n],
+    abandon the run after the [n]-th checkpoint is written. *)
+val run_checkpointed :
+  ?spec:M3v_fault.Fault.spec ->
+  ?seed:int ->
+  ?fs_rounds:int ->
+  ?kv_ops:int ->
+  every:M3v_sim.Time.t ->
+  file:string ->
+  ?stop_after:int ->
+  unit ->
+  ckpt_outcome
+
+(** Load a checkpoint and continue the soak (including its checkpoint
+    schedule) to completion — or, with [stop_after], to the next stop. *)
+val resume :
+  file:string ->
+  ?stop_after:int ->
+  unit ->
+  (ckpt_outcome, string) Stdlib.result
+
 (** [run_sweep ~pool ~seeds:n] soaks [n] consecutive seeds starting at
     [seed], fanning the runs out over [pool] as independent tasks (each
     installs its fault plan domain-locally).  Results return in seed

@@ -26,6 +26,9 @@ type result = { msgs_per_sender : int; points : point list }
 
 type Msg.data += Fan_ping
 
+let () =
+  M3v_sim.Checkpoint.register_exts [ [%extension_constructor Fan_ping] ]
+
 let msg_size = 64
 let slot_size = 128 (* payload + 16-byte header per slot *)
 let sender_credits = 4

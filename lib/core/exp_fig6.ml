@@ -17,6 +17,10 @@ type result = {
 
 type Msg.data += Noop_req | Noop_resp
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [ [%extension_constructor Noop_req]; [%extension_constructor Noop_resp] ]
+
 (* Average time of one no-op RPC between a client and a server activity. *)
 let rpc_duration ~variant ~spec ~client_tile ~server_tile ~rounds =
   let sys = System.create ~spec ~variant () in

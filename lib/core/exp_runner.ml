@@ -137,16 +137,69 @@ let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~msgs ~senders () =
                   Exp_fanin.print
                     (Exp_fanin.run ~pool ?msgs:(opt msgs) ?sender_counts ())))))
 
+(* Both halves of the ablation in one report: the clean sweep, then the
+   same sweep under a [mig_abort] fault plan (installed per task inside
+   [Exp_migrate.run], so the points still fan out over the pool). *)
+let migrate ?trace ?metrics ?jobs ?(seed = 11) ~rounds ~rates () =
+  let rates = match rates with [] -> None | l -> Some l in
+  with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
+      with_trace trace (fun () ->
+          with_metrics metrics (fun () ->
+              Exp_migrate.print
+                (Exp_migrate.run ~pool ?rounds:(opt rounds) ?rates
+                   ~faulty:false ~seed ());
+              Exp_migrate.print
+                (Exp_migrate.run ~pool ?rounds:(opt rounds) ?rates ~faulty:true
+                   ~seed ()))))
+
 (* The chaos soak manages its own plan: [Exp_chaos.run] installs the spec
    and seed itself — inside each task, so a sweep can run seeds on worker
    domains.  Only tracing forces it sequential. *)
-let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?(seeds = 1) ~rounds ~ops () =
+let chaos_outcome = function
+  | Exp_chaos.Completed r -> Exp_chaos.print r
+  | Exp_chaos.Suspended { checkpoints; file } ->
+      (* stderr: a later resume prints the (stdout) report, which must be
+         byte-identical to an uninterrupted run's. *)
+      Format.eprintf "chaos: suspended after %d checkpoint(s) -> %s@."
+        checkpoints file
+
+let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?(seeds = 1)
+    ?checkpoint_every_ms ?(checkpoint_file = "chaos.ckpt") ?stop_after ?resume
+    ~rounds ~ops () =
   let spec = Option.map parse_faults faults in
-  with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
-      with_trace trace (fun () ->
-          Exp_chaos.run_sweep ~pool ?spec ~seed:fault_seed ~seeds
-            ?fs_rounds:(opt rounds) ?kv_ops:(opt ops) ()
-          |> List.iter Exp_chaos.print))
+  let every_ms = Option.bind checkpoint_every_ms (fun n -> opt n) in
+  match (resume, every_ms) with
+  | Some file, _ -> (
+      match Exp_chaos.resume ~file ?stop_after:(Option.bind stop_after opt) () with
+      | Error msg ->
+          Format.eprintf "m3vsim chaos: %s@." msg;
+          exit 1
+      | Ok outcome -> chaos_outcome outcome)
+  | None, Some ms ->
+      if Option.is_some trace then begin
+        Format.eprintf
+          "m3vsim chaos: --checkpoint-every is incompatible with --trace \
+           (trace sinks hold channels, which cannot be checkpointed)@.";
+        exit 2
+      end;
+      if seeds > 1 then begin
+        Format.eprintf
+          "m3vsim chaos: --checkpoint-every soaks a single seed (got \
+           --seeds %d)@."
+          seeds;
+        exit 2
+      end;
+      chaos_outcome
+        (Exp_chaos.run_checkpointed ?spec ~seed:fault_seed
+           ?fs_rounds:(opt rounds) ?kv_ops:(opt ops)
+           ~every:(M3v_sim.Time.ms ms) ~file:checkpoint_file
+           ?stop_after:(Option.bind stop_after opt) ())
+  | None, None ->
+      with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
+          with_trace trace (fun () ->
+              Exp_chaos.run_sweep ~pool ?spec ~seed:fault_seed ~seeds
+                ?fs_rounds:(opt rounds) ?kv_ops:(opt ops) ()
+              |> List.iter Exp_chaos.print))
 
 let table1 ?trace () =
   with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))
@@ -236,5 +289,11 @@ let all ?jobs () =
           (fun () ->
             let r = Exp_fanin.run ~pool () in
             fun () -> Exp_fanin.print r);
+          (fun () ->
+            let clean = Exp_migrate.run ~pool ~faulty:false () in
+            let faulty = Exp_migrate.run ~pool ~faulty:true () in
+            fun () ->
+              Exp_migrate.print clean;
+              Exp_migrate.print faulty);
         ]
       |> List.iter (fun print -> print ()))

@@ -60,15 +60,31 @@ val fanin :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
   ?jobs:int -> msgs:int -> senders:int list -> unit -> unit
 
+(** Live-migration ablation ({!Exp_migrate}): downtime and exactly-once
+    delivery vs message rate, swept clean and under a [mig_abort] fault
+    plan.  [rounds] <= 0 and [rates = []] pick the defaults. *)
+val migrate :
+  ?trace:string -> ?metrics:string -> ?jobs:int -> ?seed:int ->
+  rounds:int -> rates:int list -> unit -> unit
+
 (** Chaos soak ({!Exp_chaos}): fs + kv workloads on m3fs under fault
     injection, exercising DTU retransmit, the TileMux watchdog,
     controller crash recovery and client RPC deadlines.  [faults]
     defaults to {!Exp_chaos.default_spec}; [rounds]/[ops] <= 0 pick the
     experiment defaults.  [seeds] > 1 soaks that many consecutive seeds
-    starting at [fault_seed], fanned out over the pool. *)
+    starting at [fault_seed], fanned out over the pool.
+
+    [checkpoint_every_ms > 0] checkpoints the whole simulator every that
+    many simulated milliseconds to [checkpoint_file]; [stop_after > 0]
+    abandons the run after the [n]-th checkpoint (report suppressed —
+    resume to finish); [resume:file] continues a checkpointed run instead
+    of starting one.  A resumed run's report is byte-identical to an
+    uninterrupted run's.  Checkpointing is single-seed and incompatible
+    with [trace]. *)
 val chaos :
   ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  ?seeds:int -> rounds:int -> ops:int -> unit -> unit
+  ?seeds:int -> ?checkpoint_every_ms:int -> ?checkpoint_file:string ->
+  ?stop_after:int -> ?resume:string -> rounds:int -> ops:int -> unit -> unit
 
 val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit

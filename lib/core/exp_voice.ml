@@ -22,6 +22,10 @@ type Msg.data +=
   | Audio_window of { slot : int; nsamples : int }
   | Rep_end
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [ [%extension_constructor Audio_window]; [%extension_constructor Rep_end] ]
+
 (* Scanner parameters. *)
 let frame = 256
 let window_samples = 8000

@@ -57,6 +57,7 @@ type stats = {
   retries : int;
   timeouts : int;
   dup_drops : int;
+  mig_forwards : int;
   mpmc_deliveries : int;
   mpmc_doorbells_coalesced : int;
   mpmc_refund_flushes : int;
@@ -78,6 +79,7 @@ let empty_stats =
     retries = 0;
     timeouts = 0;
     dup_drops = 0;
+    mig_forwards = 0;
     mpmc_deliveries = 0;
     mpmc_doorbells_coalesced = 0;
     mpmc_refund_flushes = 0;
@@ -112,6 +114,13 @@ type t = {
      endpoint index; applied when a send config is restored into that
      slot, discarded when the slot is reconfigured for a new purpose. *)
   pending_refunds : (int, int) Hashtbl.t;
+  (* Migration forwarding pointers: after an activity migrates away, its
+     old endpoint slots may still be named by in-flight packets and by
+     peers whose send gates have not yet been retargeted.  [moved] maps
+     such a slot to its new home; deliveries and credit grants landing on
+     it are forwarded there (one extra NoC leg per hop).  An entry is
+     cleared when the slot is reconfigured for a new purpose. *)
+  moved : (int, int * int) Hashtbl.t;
 }
 
 (* Local command processing time inside the DTU's finite state machines
@@ -145,6 +154,7 @@ let create ~virtualized ~tile ?(ep_count = 128) ?(tlb_capacity = 32) engine noc 
     ep_cache_act = invalid_act;
     ep_cache_res = Error No_such_ep;
     pending_refunds = Hashtbl.create 8;
+    moved = Hashtbl.create 4;
   }
 
 let connect t ~lookup_dtu ~lookup_mem =
@@ -383,17 +393,34 @@ let deliver dst ~dst_ep (msg : Msg.t) =
    refund is parked in [pending_refunds]: a restore of the saved send
    config re-applies it, while a reconfiguration discards it — either way
    no credit is minted for the wrong endpoint. *)
-let restore_credit_n dst_dtu ~ep n =
+let rec restore_credit_n dst_dtu ~ep n =
   if n > 0 && ep >= 0 && ep < Array.length dst_dtu.eps then
     match dst_dtu.eps.(ep).Ep.cfg with
     | Ep.Send s ->
         s.Ep.credits <- min s.Ep.max_credits (s.Ep.credits + n);
         Ep.check_credits ~ctx:"restore_credit" s
-    | Ep.Invalid ->
-        let cur =
-          Option.value (Hashtbl.find_opt dst_dtu.pending_refunds ep) ~default:0
-        in
-        Hashtbl.replace dst_dtu.pending_refunds ep (cur + n)
+    | Ep.Invalid -> (
+        match Hashtbl.find_opt dst_dtu.moved ep with
+        | Some (fwd_tile, fwd_ep) ->
+            (* The owner migrated away: the grant chases it over the
+               lossless sideband instead of parking at the dead slot. *)
+            dst_dtu.stats <-
+              {
+                dst_dtu.stats with
+                mig_forwards = dst_dtu.stats.mig_forwards + 1;
+              };
+            Noc.send dst_dtu.noc ~src:dst_dtu.tile ~dst:fwd_tile
+              ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
+                match dst_dtu.lookup_dtu fwd_tile with
+                | Some fwd -> restore_credit_n fwd ~ep:fwd_ep n
+                | None -> ())
+        | None ->
+            let cur =
+              Option.value
+                (Hashtbl.find_opt dst_dtu.pending_refunds ep)
+                ~default:0
+            in
+            Hashtbl.replace dst_dtu.pending_refunds ep (cur + n))
     | Ep.Recv _ | Ep.Mpmc_recv _ | Ep.Mem _ -> ()
 
 let restore_credit dst_dtu ~ep = restore_credit_n dst_dtu ~ep 1
@@ -461,6 +488,37 @@ let with_retries t ~name ~k ~attempt =
 
 (* --- unprivileged commands --- *)
 
+(* Deliver [msg] at [dst_tile:dst_ep], chasing migration forwarding
+   pointers.  [k ~from result] receives the tile that terminated the chase
+   (completion acknowledgements travel from there directly back to the
+   sender).  Each hop re-emits the packet on the lossless sideband — it
+   already survived its data-plane crossing, and the forwarding DTU holds
+   it like a store-and-forward switch — so chasing cannot lose a message
+   the sender was told arrived.  [active] abandons the chase once the
+   surrounding command has completed. *)
+let fwd_max_hops = 4
+
+let deliver_chased t ~dst_tile ~dst_ep ~bytes ~active (msg : Msg.t) k =
+  let rec go tile ep hops =
+    if active () then
+      match t.lookup_dtu tile with
+      | None -> k ~from:tile (Error Recv_gone)
+      | Some dst -> (
+          match Hashtbl.find_opt dst.moved ep with
+          | Some (fwd_tile, fwd_ep) when hops > 0 ->
+              dst.stats <-
+                { dst.stats with mig_forwards = dst.stats.mig_forwards + 1 };
+              if Trace.on () then
+                Trace.instant ~cat:"dtu" ~name:"mig_forward" ~tile
+                  ~ts:(Engine.now dst.engine)
+                  ~args:[ ("ep", Trace.I ep); ("to", Trace.I fwd_tile) ]
+                  ();
+              Noc.send t.noc ~src:tile ~dst:fwd_tile ~bytes
+                ~on_delivered:(fun () -> go fwd_tile fwd_ep (hops - 1))
+          | _ -> k ~from:tile (deliver dst ~dst_ep:ep msg))
+  in
+  go dst_tile dst_ep fwd_max_hops
+
 let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
   let bytes = msg.Msg.size + Msg.header_bytes in
   (* Any terminal failure — receiver gone, buffer full, retransmit budget
@@ -480,25 +538,18 @@ let transmit t ~dst_tile ~dst_ep ~(msg : Msg.t) ~on_credit_fail ~k =
       Noc.send ~kind:Noc.Data t.noc ~src:t.tile ~dst:dst_tile ~bytes
         ~on_delivered:(fun () ->
           if active () then
-            match t.lookup_dtu dst_tile with
-            | None ->
-                (* Error response travels back to the sender. *)
-                Noc.send t.noc ~src:dst_tile ~dst:t.tile
+            deliver_chased t ~dst_tile ~dst_ep ~bytes ~active msg
+              (fun ~from result ->
+                (* Completion acknowledgement back to the sending DTU from
+                   whichever tile terminated the chase (also for
+                   deduplicated copies: the sender may have missed the
+                   first ack). *)
+                let res =
+                  match result with Ok _fresh -> Ok () | Error _ -> Error Recv_gone
+                in
+                Noc.send t.noc ~src:from ~dst:t.tile
                   ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                    finish (Error Recv_gone))
-            | Some dst -> (
-                match deliver dst ~dst_ep msg with
-                | Ok _fresh ->
-                    (* Completion acknowledgement back to the sending DTU
-                       (also for deduplicated copies: the sender may have
-                       missed the first ack). *)
-                    Noc.send t.noc ~src:dst_tile ~dst:t.tile
-                      ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                        finish (Ok ()))
-                | Error _ ->
-                    Noc.send t.noc ~src:dst_tile ~dst:t.tile
-                      ~bytes:credit_packet_bytes ~on_delivered:(fun () ->
-                        finish (Error Recv_gone)))))
+                    finish res))))
 
 let send t ~ep ?reply_ep ?src_vaddr ?issue_ts ~msg_size data ~k =
   t.stats <- { t.stats with sends = t.stats.sends + 1 };
@@ -709,18 +760,27 @@ let reply t ~recv_ep ~to_msg ?src_vaddr ?issue_ts ~msg_size data ~k =
               Noc.send ~kind:Noc.Data t.noc ~src:t.tile ~dst:dst_tile ~bytes
                 ~on_delivered:(fun () ->
                   if active () then
-                    match t.lookup_dtu dst_tile with
-                    | None -> finish (Error Recv_gone)
-                    | Some dst -> (
-                        match deliver dst ~dst_ep msg with
+                    deliver_chased t ~dst_tile ~dst_ep ~bytes ~active msg
+                      (fun ~from result ->
+                        (* The piggybacked credit restores at the tile
+                           that terminated the chase: if the requester
+                           migrated, its send endpoint lives there now
+                           (and [restore_credit_n] chases any further
+                           moves over the sideband). *)
+                        let restore_at_final () =
+                          match t.lookup_dtu from with
+                          | Some dst -> restore_once dst
+                          | None -> ()
+                        in
+                        match result with
                         | Ok fresh ->
-                            if fresh then restore_once dst;
-                            Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                            if fresh then restore_at_final ();
+                            Noc.send t.noc ~src:from ~dst:t.tile
                               ~bytes:credit_packet_bytes
                               ~on_delivered:(fun () -> finish (Ok ()))
                         | Error e ->
-                            restore_once dst;
-                            Noc.send t.noc ~src:dst_tile ~dst:t.tile
+                            restore_at_final ();
+                            Noc.send t.noc ~src:from ~dst:t.tile
                               ~bytes:credit_packet_bytes
                               ~on_delivered:(fun () -> finish (Error e)))))))
 
@@ -938,8 +998,10 @@ let ext_config t ~ep ~owner cfg =
   invalidate_ep_cache t;
   (* Reconfiguring the slot for a new purpose discards refunds parked for
      its previous incarnation: a revoke racing an in-flight refund must
-     not mint credits for the new endpoint. *)
+     not mint credits for the new endpoint.  Likewise a stale migration
+     forwarding pointer must not hijack the new endpoint's traffic. *)
   Hashtbl.remove t.pending_refunds ep;
+  Hashtbl.remove t.moved ep;
   t.eps.(ep).Ep.cfg <- cfg;
   t.eps.(ep).Ep.owner <- owner
 
@@ -947,6 +1009,7 @@ let ext_invalidate t ~ep =
   check_ep_index t ep;
   invalidate_ep_cache t;
   Hashtbl.remove t.pending_refunds ep;
+  Hashtbl.remove t.moved ep;
   t.eps.(ep).Ep.cfg <- Ep.Invalid;
   t.eps.(ep).Ep.owner <- invalid_act
 
@@ -966,6 +1029,13 @@ let ext_restore_eps t ~first eps =
       let idx = first + i in
       check_ep_index t idx;
       Ep.validate_config ~ctx:"ext_restore_eps" saved.Ep.cfg;
+      (* The slot is live again: a forwarding pointer left behind when a
+         previous tenant vacated it must not hijack (and ping-pong) the
+         restored endpoint's traffic.  Without this, the third hop of a
+         migration that revisits a tile chases stale [moved] entries in a
+         cycle until the hop budget runs out and delivers wherever the
+         chase happens to stop. *)
+      Hashtbl.remove t.moved idx;
       t.eps.(idx) <- Ep.snapshot saved;
       (* A refund that arrived while this slot sat Invalid (saved but not
          yet restored) was parked; re-apply it now so the restored send
@@ -1069,6 +1139,89 @@ let ext_release_fetched t ~ep =
       mp.Ep.mp_tail <- mp.Ep.mp_head - queued;
       max leaked 0
   | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> 0
+
+(* --- migration support --- *)
+
+(* Install a forwarding pointer: packets and credit grants addressed to
+   [ep] (which must be Invalid — the slot was just vacated) chase the
+   activity to [dst_tile:dst_ep]. *)
+let ext_set_moved t ~ep ~dst_tile ~dst_ep =
+  check_ep_index t ep;
+  Hashtbl.replace t.moved ep (dst_tile, dst_ep)
+
+let ext_clear_moved t ~ep =
+  check_ep_index t ep;
+  Hashtbl.remove t.moved ep
+
+(* Rewrite every send endpoint of this DTU that targets (old_tile, ep) for
+   ep in [eps] to target (new_tile, ep): the receive gates behind them
+   migrated, slot indices preserved.  Credit balances are untouched —
+   outstanding credits follow the channel, not the tile. *)
+let ext_retarget t ~old_tile ~new_tile ~eps =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.Ep.cfg with
+      | Ep.Send s when s.Ep.dst_tile = old_tile && List.mem s.Ep.dst_ep eps ->
+          incr n;
+          e.Ep.cfg <- Ep.Send { s with Ep.dst_tile = new_tile }
+      | _ -> ())
+    t.eps;
+  !n
+
+(* Take (and clear) the refunds parked at [ep] so migration can carry them
+   to the activity's new tile; [ext_park_refund] deposits them there,
+   where the subsequent [ext_restore_eps] re-applies them capped. *)
+let ext_take_parked_refund t ~ep =
+  check_ep_index t ep;
+  match Hashtbl.find_opt t.pending_refunds ep with
+  | Some n ->
+      Hashtbl.remove t.pending_refunds ep;
+      n
+  | None -> 0
+
+let ext_park_refund t ~ep n =
+  check_ep_index t ep;
+  if n > 0 then
+    let cur = Option.value (Hashtbl.find_opt t.pending_refunds ep) ~default:0 in
+    Hashtbl.replace t.pending_refunds ep (cur + n)
+
+(* Rebuild the unread counter for [act] from the messages queued at its
+   receive endpoints — after migration installs snapshotted endpoints on a
+   fresh tile no [deliver] ever incremented the counter there.  Returns
+   the seeded count. *)
+let ext_seed_unread t ~act =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.Ep.owner = act then
+        match e.Ep.cfg with
+        | Ep.Recv r -> n := !n + Queue.length r.Ep.pending
+        | Ep.Mpmc_recv mp -> n := !n + Queue.length mp.Ep.mp_pending
+        | Ep.Invalid | Ep.Send _ | Ep.Mem _ -> ())
+    t.eps;
+  let cell = unread_cell t act in
+  cell := !n;
+  !n
+
+let ext_drop_unread t ~act = Hashtbl.remove t.unread act
+
+(* Credit inventory as seen by this DTU: credits sitting at send
+   endpoints, plus refunds parked for Invalid slots or batched at MPMC
+   rings (owed to senders but not yet granted).  Summed across all tiles
+   at a quiescent instant this is conserved by migration — the test suite
+   and the controller's migration assert both rely on it. *)
+let ext_credit_inventory t =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.Ep.cfg with
+      | Ep.Send s -> n := !n + s.Ep.credits
+      | Ep.Mpmc_recv mp -> n := !n + mp.Ep.mp_refund_total
+      | Ep.Invalid | Ep.Recv _ | Ep.Mem _ -> ())
+    t.eps;
+  Hashtbl.iter (fun _ c -> n := !n + c) t.pending_refunds;
+  !n
 
 (* Reset every send endpoint targeting [dst_tile:dst_ep] to full credits;
    returns the number of credits reclaimed.  The controller uses this when

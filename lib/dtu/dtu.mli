@@ -190,6 +190,44 @@ val ext_drain_recv : t -> ep:int -> int
     leak forever.  Returns how many slots were freed. *)
 val ext_release_fetched : t -> ep:int -> int
 
+(** {1 Migration support (controller only)} *)
+
+(** Install a forwarding pointer on a vacated (Invalid) slot: in-flight
+    packets and credit grants addressed to it chase the migrated activity
+    to [dst_tile:dst_ep], one extra NoC leg per hop.  Cleared by
+    [ext_config]/[ext_invalidate] when the slot is reused. *)
+val ext_set_moved : t -> ep:int -> dst_tile:int -> dst_ep:int -> unit
+
+val ext_clear_moved : t -> ep:int -> unit
+
+(** [ext_retarget t ~old_tile ~new_tile ~eps] rewrites every send endpoint
+    of this DTU targeting [(old_tile, ep)] for [ep] in [eps] to
+    [(new_tile, ep)] — the receive gates behind them migrated with their
+    slot indices preserved.  Credit balances are untouched.  Returns how
+    many endpoints were rewritten. *)
+val ext_retarget : t -> old_tile:int -> new_tile:int -> eps:int list -> int
+
+(** Take (and clear) credit refunds parked at an Invalid slot, so a
+    migration can carry them to the activity's new tile. *)
+val ext_take_parked_refund : t -> ep:int -> int
+
+(** Deposit carried refunds at the target slot; the subsequent
+    [ext_restore_eps] re-applies them capped at the endpoint maximum. *)
+val ext_park_refund : t -> ep:int -> int -> unit
+
+(** Rebuild the unread counter of [act] from the messages queued at its
+    receive endpoints (after installing snapshotted endpoints on a fresh
+    tile); returns the seeded count. *)
+val ext_seed_unread : t -> act:Dtu_types.act_id -> int
+
+(** Drop the unread counter of a departed activity. *)
+val ext_drop_unread : t -> act:Dtu_types.act_id -> unit
+
+(** Credits visible at this DTU: send-endpoint balances plus refunds
+    parked at Invalid slots or batched at MPMC rings.  Summed across all
+    tiles at a quiescent instant, migration conserves it. *)
+val ext_credit_inventory : t -> int
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -206,6 +244,8 @@ type stats = {
   retries : int;  (** retransmitted command attempts (fault injection) *)
   timeouts : int;  (** commands that exhausted their retransmit budget *)
   dup_drops : int;  (** deduplicated message copies dropped on receive *)
+  mig_forwards : int;
+      (** packets/credit grants forwarded through a migration pointer *)
   mpmc_deliveries : int;  (** messages delivered into MPMC rings *)
   mpmc_doorbells_coalesced : int;
       (** MPMC arrivals absorbed by an already-pending doorbell *)

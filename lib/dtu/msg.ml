@@ -1,6 +1,10 @@
 type data = ..
 type data += Raw of bytes | Empty
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [ [%extension_constructor Raw]; [%extension_constructor Empty] ]
+
 type t = {
   uid : int;
   src_tile : int;
@@ -26,6 +30,11 @@ let next_uid : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
    allocate them reproducibly: restart the counter whenever a trace sink
    is installed. *)
 let () = M3v_obs.Trace.at_install (fun () -> Domain.DLS.get next_uid := 0)
+
+(* Checkpoint/restore must capture the counter explicitly: it lives in
+   domain-local storage, which [Marshal] does not traverse. *)
+let uid_counter () = !(Domain.DLS.get next_uid)
+let set_uid_counter v = Domain.DLS.get next_uid := v
 
 let make ~src_tile ~src_act ?src_send_ep ?(label = 0) ?reply_to ~size data =
   if size < 0 then invalid_arg "Msg.make: negative size";

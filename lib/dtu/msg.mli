@@ -27,6 +27,14 @@ type t = {
     slots. *)
 val header_bytes : int
 
+(** Read / restore the domain-local uid counter.  Checkpoint/restore must
+    capture it explicitly: [Marshal] does not traverse domain-local
+    storage, and a resumed run must allocate the same uids an
+    uninterrupted run would. *)
+val uid_counter : unit -> int
+
+val set_uid_counter : int -> unit
+
 val make :
   src_tile:int ->
   src_act:Dtu_types.act_id ->

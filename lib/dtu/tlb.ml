@@ -76,6 +76,14 @@ let compact_fifo t =
     t.fifo;
   t.fifo <- fresh
 
+(* Export one activity's live mappings, sorted by vpage so migration
+   re-installs them in a deterministic order on the target DTU. *)
+let entries_of_act t act =
+  Hashtbl.fold
+    (fun (a, vpage) e acc -> if a = act then (vpage, e) :: acc else acc)
+    t.entries []
+  |> List.sort (fun (va, _) (vb, _) -> Stdlib.compare va vb)
+
 let invalidate_act t act =
   let stale =
     Hashtbl.fold (fun (a, p) _ acc -> if a = act then (a, p) :: acc else acc)

@@ -19,6 +19,12 @@ val lookup : t -> act:Dtu_types.act_id -> vpage:int -> write:bool -> int option
 val insert :
   t -> act:Dtu_types.act_id -> vpage:int -> ppage:int -> perm:Dtu_types.perm -> unit
 
+type entry = { ppage : int; perm : Dtu_types.perm }
+
+(** Live mappings of one activity, sorted by virtual page — migration
+    re-installs them on the target DTU in deterministic order. *)
+val entries_of_act : t -> Dtu_types.act_id -> (int * entry) list
+
 (** Drop all entries of one activity (on activity exit).  Also purges the
     entries' keys from the eviction FIFO so it stays bounded by the
     capacity across activity switches. *)

@@ -31,6 +31,8 @@ type spec = {
   crash_p : float;
   hang : int;
   hang_p : float;
+  mig_abort : int;
+  mig_abort_p : float;
 }
 
 let none =
@@ -44,6 +46,8 @@ let none =
     crash_p = 5e-3;
     hang = 0;
     hang_p = 5e-3;
+    mig_abort = 0;
+    mig_abort_p = 0.25;
   }
 
 let parse s =
@@ -73,6 +77,9 @@ let parse s =
         | "crash_p" -> Result.map (fun v -> { spec with crash_p = v }) (fl ())
         | "hang" -> Result.map (fun v -> { spec with hang = v }) (it ())
         | "hang_p" -> Result.map (fun v -> { spec with hang_p = v }) (fl ())
+        | "mig_abort" -> Result.map (fun v -> { spec with mig_abort = v }) (it ())
+        | "mig_abort_p" ->
+            Result.map (fun v -> { spec with mig_abort_p = v }) (fl ())
         | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
   in
   let fields =
@@ -94,6 +101,7 @@ let spec_to_string spec =
   fld "cmd_fail" spec.cmd_fail;
   ifld "crash" spec.crash;
   ifld "hang" spec.hang;
+  ifld "mig_abort" spec.mig_abort;
   let s = Buffer.contents b in
   if s = "" then "none" else String.sub s 0 (String.length s - 1)
 
@@ -104,6 +112,7 @@ type stats = {
   mutable cmd_glitches : int;
   mutable crashes_injected : int;
   mutable hangs_injected : int;
+  mutable mig_aborts_injected : int;
 }
 
 type t = {
@@ -113,6 +122,7 @@ type t = {
   protected : (int, unit) Hashtbl.t;
   mutable crash_left : int;
   mutable hang_left : int;
+  mutable mig_abort_left : int;
 }
 
 let create ?(seed = 1) spec =
@@ -127,10 +137,12 @@ let create ?(seed = 1) spec =
         cmd_glitches = 0;
         crashes_injected = 0;
         hangs_injected = 0;
+        mig_aborts_injected = 0;
       };
     protected = Hashtbl.create 8;
     crash_left = spec.crash;
     hang_left = spec.hang;
+    mig_abort_left = spec.mig_abort;
   }
 
 let stats t = t.stats
@@ -237,8 +249,31 @@ let act_fate ~now ~tile ~act =
       end
       else None
 
+(* Drawn once per migration at each abortable phase boundary (before the
+   atomic endpoint flip).  Budgeted like crash/hang: at most
+   [spec.mig_abort] aborts across the run, each with probability
+   [mig_abort_p] while budget remains.  After the flip the protocol can
+   only roll forward, so the controller stops consulting this hook. *)
+let mig_fate ~now ~tile ~act ~phase =
+  match Domain.DLS.get current with
+  | None -> false
+  | Some p ->
+      p.mig_abort_left > 0
+      && Rng.float p.rng < p.spec.mig_abort_p
+      && begin
+           p.mig_abort_left <- p.mig_abort_left - 1;
+           p.stats.mig_aborts_injected <- p.stats.mig_aborts_injected + 1;
+           if Trace.on () then
+             Trace.instant ~cat:"fault" ~name:"inject_mig_abort" ~tile ~act
+               ~ts:now
+               ~args:[ ("phase", Trace.S phase) ]
+               ();
+           true
+         end
+
 let pp_stats fmt s =
   Format.fprintf fmt
-    "%d dropped, %d duplicated, %d delayed, %d cmd glitches, %d crashes, %d hangs"
+    "%d dropped, %d duplicated, %d delayed, %d cmd glitches, %d crashes, %d \
+     hangs, %d migration aborts"
     s.dropped s.duplicated s.delayed s.cmd_glitches s.crashes_injected
-    s.hangs_injected
+    s.hangs_injected s.mig_aborts_injected

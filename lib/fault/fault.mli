@@ -27,6 +27,8 @@ type spec = {
   crash_p : float;  (** per-TMCall-boundary crash probability *)
   hang : int;  (** total activity hangs to inject *)
   hang_p : float;  (** per-TMCall-boundary hang probability *)
+  mig_abort : int;  (** total migration aborts to inject *)
+  mig_abort_p : float;  (** per-abortable-phase abort probability *)
 }
 
 (** All rates and budgets zero. *)
@@ -45,6 +47,7 @@ type stats = {
   mutable cmd_glitches : int;
   mutable crashes_injected : int;
   mutable hangs_injected : int;
+  mutable mig_aborts_injected : int;
 }
 
 type t
@@ -85,5 +88,10 @@ type act_fate = Crash | Hang
 
 (** Fate of activity [act] at a TMCall boundary; [None] almost always. *)
 val act_fate : now:int -> tile:int -> act:int -> act_fate option
+
+(** Whether to abort an in-progress migration of [act], drawn once per
+    abortable phase boundary (before the atomic endpoint flip — after it
+    the protocol can only roll forward).  Budgeted by [spec.mig_abort]. *)
+val mig_fate : now:int -> tile:int -> act:int -> phase:string -> bool
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -9,6 +9,8 @@ module Platform = M3v_tile.Platform
 module Core_model = M3v_tile.Core_model
 module Trace = M3v_obs.Trace
 module Metrics = M3v_obs.Metrics
+module Tlb = M3v_dtu.Tlb
+module Fault = M3v_fault.Fault
 open Dtu_types
 
 type mode = M3v | M3x
@@ -18,10 +20,24 @@ type mx_stub = {
   mx_restore : act_id -> k:(unit -> unit) -> unit;
 }
 
+(* Opaque activity image carried from the source runtime to the target
+   runtime during a live migration.  The runtime library extends it; the
+   controller only moves it around. *)
+type mig_image = ..
+
+type mig_stub = {
+  mig_quiesce : act:act_id -> k:(mig_image option -> unit) -> unit;
+      (** park the activity at its next TMCall boundary and extract its
+          image; [k None] if it died (or exited) first *)
+  mig_install : image:mig_image -> sys_sgate:int -> sys_rgate:int -> unit;
+      (** materialize the parked image on this tile (state [Migrating]) *)
+  mig_resume : act:act_id -> unit;  (** make the installed activity runnable *)
+}
+
 type act = {
   aid : act_id;
   name : string;
-  a_tile : int;
+  mutable a_tile : int;  (* mutable: live migration moves activities *)
   caps : (int, Cap.t) Hashtbl.t;
   mutable next_sel : int;
   mutable alive : bool;
@@ -53,6 +69,9 @@ type stats = {
   crashes : int;
   restarts : int;
   credits_reclaimed : int;
+  migrations : int;
+  mig_aborts : int;
+  mig_downtime_ps : int;
 }
 
 type t = {
@@ -69,6 +88,8 @@ type t = {
   mem_next : (int * int ref) list;  (* (memory tile, bump pointer) *)
   ep_owners : (int * int, act_id) Hashtbl.t;  (* (tile, recv ep) -> owner *)
   mx_stubs : (int, mx_stub) Hashtbl.t;
+  mig_stubs : (int, mig_stub) Hashtbl.t;
+  mutable mig_busy : bool;  (* at most one migration in flight *)
   mx_tiles : (int, mx_tile_state) Hashtbl.t;
   tm_rgates : (int, int) Hashtbl.t;  (* tile -> TileMux receive endpoint *)
   restart_hooks : (int, act_id -> unit) Hashtbl.t;  (* tile -> respawn *)
@@ -90,6 +111,9 @@ let mx_save_phase_cycles = 2_100
 let mx_restore_phase_cycles = 2_100
 let mx_deliver_cycles = 580
 let ep_save_bytes_per_ep = 32
+let mig_prepare_cycles = 1_200
+let mig_flip_cycles = 800
+let mig_resume_cycles = 1_400
 
 (* The controller's syscall receive endpoint. *)
 let syscall_ep = 0
@@ -103,6 +127,9 @@ let empty_stats =
     crashes = 0;
     restarts = 0;
     credits_reclaimed = 0;
+    migrations = 0;
+    mig_aborts = 0;
+    mig_downtime_ps = 0;
   }
 
 let find_act t aid =
@@ -627,6 +654,263 @@ let handle_crash t (a : act) ~code ~k =
                 ~k))
   | Some _ | None -> teardown_act t a ~k
 
+(* --- live activity migration (M3v) ---
+
+   Controller-orchestrated, fault-tolerant protocol:
+
+     prepare -> quiesce -> drain -> FLIP -> install -> resume
+
+   [quiesce] asks the source runtime to park the activity at its next
+   TMCall boundary and hand back an opaque image (program, continuation,
+   address space).  [drain] charges the NoC round trips that read the
+   endpoint state out and push the image to the target.  The FLIP is a
+   single simulated instant: endpoint snapshots (with their queued
+   messages and parked credit refunds), the TLB image and the ownership
+   tables all move at once, and the vacated source slots get forwarding
+   pointers so in-flight packets and late credit grants chase the
+   activity.  Fault injection may abort the protocol at the phase
+   boundaries {e before} the flip — the image is reinstalled on the
+   source and the activity resumes as if nothing happened.  After the
+   flip the protocol can only roll forward.  Either way every message is
+   delivered exactly once and the system-wide credit total is unchanged
+   (asserted below). *)
+
+let register_mig_stub t ~tile stub = Hashtbl.replace t.mig_stubs tile stub
+
+let mig_stub_of t tile =
+  match Hashtbl.find_opt t.mig_stubs tile with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Controller: no migration stub on tile %d" tile)
+
+let all_tiles t = List.init (Platform.tile_count t.platform) (fun i -> i)
+
+(* System-wide credit total: send-endpoint balances plus refunds parked at
+   invalid slots or batched at MPMC rings.  In-flight NoC packets are not
+   counted, but the flip happens at one simulated instant, so they cancel
+   out of the before/after comparison. *)
+let credit_inventory t =
+  List.fold_left
+    (fun acc tile ->
+      acc + Dtu.ext_credit_inventory (Platform.dtu t.platform tile))
+    0 (all_tiles t)
+
+let mig_trace t ~name ~(a : act) args =
+  if Trace.on () then
+    Trace.instant ~cat:"kernel" ~name ~tile:t.tile ~act:a.aid
+      ~ts:(Engine.now t.engine) ~args ()
+
+let mig_aborted t (a : act) ~phase =
+  t.stats <- { t.stats with mig_aborts = t.stats.mig_aborts + 1 };
+  mig_trace t ~name:"mig_abort" ~a [ ("phase", Trace.S phase) ]
+
+(* The atomic endpoint flip.  Runs synchronously inside one engine
+   callback: no simulated time passes between vacating the source slots
+   and restoring them on the target, so the activity is never unreachable
+   — at worst a packet pays one forwarding hop. *)
+let mig_flip t (a : act) ~dst_tile ~eps =
+  let src_tile = a.a_tile in
+  let sdtu = Platform.dtu t.platform src_tile in
+  let tdtu = Platform.dtu t.platform dst_tile in
+  let before = credit_inventory t in
+  let snaps =
+    List.map
+      (fun ep ->
+        let saved = Dtu.ext_read_ep sdtu ~ep in
+        let parked = Dtu.ext_take_parked_refund sdtu ~ep in
+        (ep, saved, parked))
+      eps
+  in
+  let tlb_entries = Tlb.entries_of_act (Dtu.tlb sdtu) a.aid in
+  Dtu.tlb_invalidate_act sdtu a.aid;
+  List.iter
+    (fun (ep, _, _) ->
+      Dtu.ext_invalidate sdtu ~ep;
+      Dtu.ext_set_moved sdtu ~ep ~dst_tile ~dst_ep:ep)
+    snaps;
+  Dtu.ext_drop_unread sdtu ~act:a.aid;
+  (* Same indices on the target: programs hold endpoint numbers in their
+     closures, so migration preserves them (the target slots were checked
+     Invalid before the protocol started). *)
+  List.iter
+    (fun (ep, saved, parked) ->
+      Dtu.ext_park_refund tdtu ~ep parked;
+      Dtu.ext_restore_eps tdtu ~first:ep [| saved |])
+    snaps;
+  ignore (Dtu.ext_seed_unread tdtu ~act:a.aid);
+  List.iter
+    (fun (vpage, (e : Tlb.entry)) ->
+      Dtu.tlb_insert tdtu ~act:a.aid ~vpage ~ppage:e.Tlb.ppage ~perm:e.Tlb.perm)
+    tlb_entries;
+  (* Reserve the indices so the target's allocator never hands them out. *)
+  t.ep_next.(dst_tile) <-
+    max t.ep_next.(dst_tile) (1 + List.fold_left max (-1) eps);
+  List.iter
+    (fun ep ->
+      match Hashtbl.find_opt t.ep_owners (src_tile, ep) with
+      | Some owner when owner = a.aid ->
+          Hashtbl.remove t.ep_owners (src_tile, ep);
+          Hashtbl.replace t.ep_owners (dst_tile, ep) a.aid
+      | Some _ | None -> ())
+    eps;
+  (* Future activations of send gates against the moved receive gates must
+     resolve to the new location. *)
+  Hashtbl.iter
+    (fun _ (cap : Cap.t) ->
+      match cap.Cap.obj with
+      | Cap.Rgate rg -> (
+          match rg.Cap.rg_loc with
+          | Some (tl, ep) when tl = src_tile && List.mem ep eps ->
+              rg.Cap.rg_loc <- Some (dst_tile, ep)
+          | Some _ | None -> ())
+      | Cap.Sgate _ | Cap.Mgate _ -> ())
+    a.caps;
+  (* Already-configured peer send gates are rewritten in place; the
+     forwarding pointers only cover packets that left before this line. *)
+  List.iter
+    (fun tile ->
+      ignore
+        (Dtu.ext_retarget
+           (Platform.dtu t.platform tile)
+           ~old_tile:src_tile ~new_tile:dst_tile ~eps))
+    (all_tiles t);
+  a.a_tile <- dst_tile;
+  let after = credit_inventory t in
+  if after <> before then
+    failwith
+      (Printf.sprintf
+         "Controller: migration of %s changed the credit total (%d -> %d)"
+         a.name before after)
+
+(* Pre-flip abort: reinstall the parked image on the source — its
+   endpoints, TLB and unread state were never touched — and resume. *)
+let mig_reinstall t (a : act) ~image ~parked_at ~phase ~k =
+  mig_aborted t a ~phase;
+  let sgate, rgate =
+    match a.syscall_eps with
+    | Some p -> p
+    | None -> failwith "Controller: migrating activity has no syscall channel"
+  in
+  (mig_stub_of t a.a_tile).mig_install ~image ~sys_sgate:sgate ~sys_rgate:rgate;
+  charge t mig_resume_cycles (fun () ->
+      (mig_stub_of t a.a_tile).mig_resume ~act:a.aid;
+      t.stats <-
+        {
+          t.stats with
+          mig_downtime_ps =
+            t.stats.mig_downtime_ps
+            + Time.sub (Engine.now t.engine) parked_at;
+        };
+      t.mig_busy <- false;
+      k (Error (Printf.sprintf "migration aborted (%s)" phase)))
+
+let mig_commit t (a : act) ~dst_tile ~eps ~image ~parked_at ~k =
+  charge t mig_flip_cycles (fun () ->
+      mig_flip t a ~dst_tile ~eps;
+      let sgate, rgate =
+        match a.syscall_eps with
+        | Some p -> p
+        | None ->
+            failwith "Controller: migrating activity has no syscall channel"
+      in
+      (mig_stub_of t dst_tile).mig_install ~image ~sys_sgate:sgate
+        ~sys_rgate:rgate;
+      charge t mig_resume_cycles (fun () ->
+          ext_round_trip t ~dst:dst_tile ~bytes:64
+            ~apply:(fun () -> (mig_stub_of t dst_tile).mig_resume ~act:a.aid)
+            ~k:(fun () ->
+              let downtime = Time.sub (Engine.now t.engine) parked_at in
+              t.stats <-
+                {
+                  t.stats with
+                  migrations = t.stats.migrations + 1;
+                  mig_downtime_ps = t.stats.mig_downtime_ps + downtime;
+                };
+              mig_trace t ~name:"mig_done" ~a
+                [ ("to", Trace.I dst_tile); ("downtime_ps", Trace.I downtime) ];
+              t.mig_busy <- false;
+              k (Ok ()))))
+
+let mig_drain t (a : act) ~dst_tile ~eps ~image ~parked_at ~k =
+  (* Read the endpoint state out of the source and push the image to the
+     target; retransmit windows and credit grants already on the wire get
+     this long to land (late ones chase the forwarding pointers). *)
+  let save_bytes = 256 + (List.length eps * ep_save_bytes_per_ep) in
+  ext_round_trip t ~dst:a.a_tile ~bytes:save_bytes
+    ~apply:(fun () -> ())
+    ~k:(fun () ->
+      ext_round_trip t ~dst:dst_tile ~bytes:save_bytes
+        ~apply:(fun () -> ())
+        ~k:(fun () ->
+          if
+            Fault.on ()
+            && Fault.mig_fate ~now:(Engine.now t.engine) ~tile:a.a_tile
+                 ~act:a.aid ~phase:"drain"
+          then mig_reinstall t a ~image ~parked_at ~phase:"drain" ~k
+          else mig_commit t a ~dst_tile ~eps ~image ~parked_at ~k))
+
+let mig_quiesce_phase t (a : act) ~dst_tile ~eps ~k =
+  (mig_stub_of t a.a_tile).mig_quiesce ~act:a.aid ~k:(function
+    | None ->
+        (* The activity exited (or was killed by fault injection) before it
+           reached a parkable boundary: nothing moved, nothing to restore —
+           crash handling owns whatever happens to it next. *)
+        mig_aborted t a ~phase:"quiesce";
+        t.mig_busy <- false;
+        k (Error "activity exited during quiesce")
+    | Some image ->
+        let parked_at = Engine.now t.engine in
+        mig_trace t ~name:"mig_parked" ~a [];
+        if
+          Fault.on ()
+          && Fault.mig_fate ~now:(Engine.now t.engine) ~tile:a.a_tile
+               ~act:a.aid ~phase:"parked"
+        then mig_reinstall t a ~image ~parked_at ~phase:"parked" ~k
+        else mig_drain t a ~dst_tile ~eps ~image ~parked_at ~k)
+
+let migrate t ~act ~dst_tile ~k =
+  match Hashtbl.find_opt t.acts act with
+  | None -> k (Error "unknown activity")
+  | Some a ->
+      if t.mode <> M3v then k (Error "migration requires M3v mode")
+      else if t.mig_busy then k (Error "another migration is in flight")
+      else if not a.alive then k (Error "activity is not alive")
+      else if dst_tile = a.a_tile then k (Error "target is the source tile")
+      else if not (Hashtbl.mem t.mig_stubs a.a_tile) then
+        k (Error "no migration-capable runtime on source tile")
+      else if not (Hashtbl.mem t.mig_stubs dst_tile) then
+        k (Error "no migration-capable runtime on target tile")
+      else begin
+        let eps = List.sort_uniq compare a.ep_list in
+        let tdtu = Platform.dtu t.platform dst_tile in
+        let clash =
+          List.exists
+            (fun ep ->
+              ep >= Dtu.ep_count tdtu
+              ||
+              match (Dtu.ext_read_ep tdtu ~ep).Ep.cfg with
+              | Ep.Invalid -> false
+              | Ep.Send _ | Ep.Recv _ | Ep.Mpmc_recv _ | Ep.Mem _ -> true)
+            eps
+        in
+        if clash then k (Error "target endpoint slots are busy")
+        else begin
+          t.mig_busy <- true;
+          mig_trace t ~name:"mig_start" ~a [ ("to", Trace.I dst_tile) ];
+          charge t mig_prepare_cycles (fun () ->
+              if
+                Fault.on ()
+                && Fault.mig_fate ~now:(Engine.now t.engine) ~tile:a.a_tile
+                     ~act:a.aid ~phase:"prepare"
+              then begin
+                mig_aborted t a ~phase:"prepare";
+                t.mig_busy <- false;
+                k (Error "migration aborted (prepare)")
+              end
+              else mig_quiesce_phase t a ~dst_tile ~eps ~k)
+        end
+      end
+
 (* --- syscall handling --- *)
 
 let reply_sys t msg rep =
@@ -773,6 +1057,29 @@ let handle_sys t (msg : Msg.t) req ~k =
                   Hashtbl.remove t.pending_maps req_id;
                   reply_sys t msg (Protocol.Sys_err "TileMux gate full"));
               k ()))
+  | Protocol.Migrate { mig_tile } ->
+      if t.mode <> M3v then finish (Protocol.Sys_err "migration requires M3v")
+      else if t.mig_busy then
+        finish (Protocol.Sys_err "another migration is in flight")
+      else if
+        mig_tile < 0
+        || mig_tile >= Platform.tile_count t.platform
+        || not (Hashtbl.mem t.mig_stubs mig_tile)
+      then finish (Protocol.Sys_err "no migration-capable runtime on target")
+      else if mig_tile = requester.a_tile then
+        finish (Protocol.Sys_err "already on target tile")
+      else begin
+        (* Start the protocol, then reply: the requester parks at its next
+           TMCall boundary (typically the receive for this very reply — the
+           reply either lands before the flip and migrates inside the
+           endpoint snapshot, or after it and chases the forwarding
+           pointer).  The protocol runs concurrently with the dispatcher:
+           holding the single-threaded controller for the whole migration
+           could deadlock against a pager round trip the activity still
+           needs before it can park. *)
+        migrate t ~act:requester.aid ~dst_tile:mig_tile ~k:(fun _ -> ());
+        finish Protocol.Ok_unit
+      end
   | Protocol.Act_exit { code } ->
       requester.alive <- false;
       requester.exit_code <- Some code;
@@ -892,7 +1199,8 @@ let req_name (data : Msg.data) =
       | Protocol.Activate _ -> "sys/activate"
       | Protocol.Revoke _ -> "sys/revoke"
       | Protocol.Map_for _ -> "sys/map_for"
-      | Protocol.Act_exit _ -> "sys/act_exit")
+      | Protocol.Act_exit _ -> "sys/act_exit"
+      | Protocol.Migrate _ -> "sys/migrate")
   | Protocol.Tm_map_done _ -> "tm_map_done"
   | Protocol.Mx_fwd _ -> "mx_fwd"
   | Protocol.Mx_block -> "mx_block"
@@ -965,6 +1273,8 @@ let create ~mode ~platform ~tile () =
       mem_next;
       ep_owners = Hashtbl.create 64;
       mx_stubs = Hashtbl.create 8;
+      mig_stubs = Hashtbl.create 8;
+      mig_busy = false;
       mx_tiles = Hashtbl.create 8;
       tm_rgates = Hashtbl.create 8;
       restart_hooks = Hashtbl.create 8;

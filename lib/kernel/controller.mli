@@ -129,6 +129,47 @@ val set_restartable :
 val register_restart_hook :
   t -> tile:int -> (M3v_dtu.Dtu_types.act_id -> unit) -> unit
 
+(** {1 Live migration (M3v)}
+
+    Controller-orchestrated protocol: quiesce the activity at a TMCall
+    boundary, drain in-flight state, then atomically flip its endpoints,
+    TLB image and ownership tables to the target tile and resume it there.
+    The vacated source slots keep forwarding pointers, so in-flight packets
+    and late credit grants chase the activity; messages are delivered
+    exactly once and the system-wide credit total is conserved (asserted).
+    Fault injection ([mig_abort] in the plan spec) may abort the protocol
+    before the flip — the activity is reinstalled on the source; after the
+    flip it only rolls forward. *)
+
+(** Opaque activity image carried from source to target runtime.  Extended
+    (and consumed) by the runtime library; the controller only moves it. *)
+type mig_image = ..
+
+(** Per-tile migration callbacks the M3v runtime registers. *)
+type mig_stub = {
+  mig_quiesce :
+    act:M3v_dtu.Dtu_types.act_id -> k:(mig_image option -> unit) -> unit;
+      (** park the activity at its next TMCall boundary and extract its
+          image; [k None] if it exited (or was killed) first *)
+  mig_install : image:mig_image -> sys_sgate:int -> sys_rgate:int -> unit;
+      (** materialize a parked image on this tile (not yet runnable) *)
+  mig_resume : act:M3v_dtu.Dtu_types.act_id -> unit;
+      (** make the installed activity runnable again *)
+}
+
+val register_mig_stub : t -> tile:int -> mig_stub -> unit
+
+(** [migrate t ~act ~dst_tile ~k] moves a live activity to [dst_tile].
+    [k (Error _)] on validation failure or an injected abort (the activity
+    keeps running on the source); [k (Ok ())] once it is runnable on the
+    target.  At most one migration is in flight at a time. *)
+val migrate :
+  t ->
+  act:M3v_dtu.Dtu_types.act_id ->
+  dst_tile:int ->
+  k:((unit, string) result -> unit) ->
+  unit
+
 (** Register the TileMux receive endpoint of a tile so the controller can
     forward mapping requests (paper, section 4.3). *)
 val register_tm_rgate : t -> tile:int -> ep:int -> unit
@@ -163,6 +204,10 @@ type stats = {
   crashes : int;  (** nonzero exit codes handled *)
   restarts : int;  (** in-place activity restarts performed *)
   credits_reclaimed : int;  (** send credits recovered from dead receivers *)
+  migrations : int;  (** completed live migrations *)
+  mig_aborts : int;  (** migrations aborted before the flip *)
+  mig_downtime_ps : int;
+      (** summed park-to-resume downtime across migrations (and aborts) *)
 }
 
 val stats : t -> stats

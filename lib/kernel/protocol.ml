@@ -25,6 +25,7 @@ type sys_req =
       perm : M3v_dtu.Dtu_types.perm;
     }
   | Act_exit of { code : int }
+  | Migrate of { mig_tile : int }
 
 type sys_reply = Ok_unit | Ok_sel of int | Ok_ep of int | Sys_err of string
 
@@ -49,6 +50,19 @@ type M3v_dtu.Msg.data +=
     }
   | Tm_map_done of { tm_req_id : int }
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [
+      [%extension_constructor Sys];
+      [%extension_constructor Sys_reply];
+      [%extension_constructor Mx_fwd];
+      [%extension_constructor Mx_block];
+      [%extension_constructor Mx_yield];
+      [%extension_constructor Mx_wake];
+      [%extension_constructor Tm_map];
+      [%extension_constructor Tm_map_done];
+    ]
+
 let sys_req_size = function
   | Noop -> 8
   | Alloc_mem _ -> 24
@@ -60,6 +74,7 @@ let sys_req_size = function
   | Revoke _ -> 16
   | Map_for _ -> 40
   | Act_exit _ -> 16
+  | Migrate _ -> 16
 
 let sys_reply_size = function
   | Ok_unit -> 8
@@ -86,6 +101,7 @@ let pp_sys_req fmt = function
   | Map_for { target; vpage; ppage; _ } ->
       Format.fprintf fmt "map_for(act%d, v%#x -> p%#x)" target vpage ppage
   | Act_exit { code } -> Format.fprintf fmt "exit(%d)" code
+  | Migrate { mig_tile } -> Format.fprintf fmt "migrate(tile%d)" mig_tile
 
 let pp_sys_reply fmt = function
   | Ok_unit -> Format.pp_print_string fmt "ok"

@@ -45,6 +45,11 @@ type sys_req =
       (** pager requests a mapping; the controller forwards it to the
           TileMux instance responsible for [target] (paper, section 4.3) *)
   | Act_exit of { code : int }
+  | Migrate of { mig_tile : int }
+      (** move the requester to another tile.  Replied to immediately with
+          [Ok_unit] (or [Sys_err] if the request is invalid); the migration
+          protocol then intercepts the activity at its next TMCall
+          boundary. *)
 
 type sys_reply =
   | Ok_unit

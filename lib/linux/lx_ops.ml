@@ -23,3 +23,30 @@ type M3v_sim.Proc.resp +=
   | L_unit_result of (unit, string) result
   | L_stat of (M3v_os.Fs_proto.fs_rep, string) result
   | L_pkt of M3v_os.Net_proto.addr * bytes
+
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [
+      [%extension_constructor Lx_noop_syscall];
+      [%extension_constructor Lx_yield];
+      [%extension_constructor Lx_open];
+      [%extension_constructor Lx_read];
+      [%extension_constructor Lx_write];
+      [%extension_constructor Lx_seek];
+      [%extension_constructor Lx_close];
+      [%extension_constructor Lx_stat];
+      [%extension_constructor Lx_readdir];
+      [%extension_constructor Lx_mkdir];
+      [%extension_constructor Lx_unlink];
+      [%extension_constructor Lx_socket];
+      [%extension_constructor Lx_bind];
+      [%extension_constructor Lx_sendto];
+      [%extension_constructor Lx_recvfrom];
+      [%extension_constructor Lx_sock_close];
+      [%extension_constructor L_int];
+      [%extension_constructor L_result];
+      [%extension_constructor L_names];
+      [%extension_constructor L_unit_result];
+      [%extension_constructor L_stat];
+      [%extension_constructor L_pkt];
+    ]

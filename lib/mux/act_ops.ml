@@ -50,3 +50,29 @@ type M3v_sim.Proc.resp +=
   | R_recv_timeout
   | R_time of M3v_sim.Time.t
   | R_vaddr of int
+
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [
+      [%extension_constructor Op_compute];
+      [%extension_constructor Op_send];
+      [%extension_constructor Op_recv];
+      [%extension_constructor Op_try_recv];
+      [%extension_constructor Op_reply];
+      [%extension_constructor Op_ack];
+      [%extension_constructor Op_mem_read];
+      [%extension_constructor Op_mem_write];
+      [%extension_constructor Op_memcpy];
+      [%extension_constructor Op_yield];
+      [%extension_constructor Op_now];
+      [%extension_constructor Op_alloc_buf];
+      [%extension_constructor Op_touch];
+      [%extension_constructor Op_acct];
+      [%extension_constructor Op_log];
+      [%extension_constructor Op_exit];
+      [%extension_constructor R_msg];
+      [%extension_constructor R_msg_opt];
+      [%extension_constructor R_recv_timeout];
+      [%extension_constructor R_time];
+      [%extension_constructor R_vaddr];
+    ]

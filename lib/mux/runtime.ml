@@ -22,6 +22,9 @@ type mode = M3v_mode | M3x_mode
 type Msg.data +=
   | Pf_fault of { pf_act : act_id; pf_vpage : int; pf_write : bool }
 
+let () =
+  M3v_sim.Checkpoint.register_exts [ [%extension_constructor Pf_fault] ]
+
 type astate =
   | Ready  (** runnable, waiting in the run queue *)
   | Running
@@ -29,6 +32,7 @@ type astate =
   | Blocked_recv  (** waiting for a message *)
   | Blocked_fault  (** waiting for the pager *)
   | Polling  (** current and spinning on its receive endpoints *)
+  | Migrating  (** installed from a migration image, not yet resumed *)
   | Dead
 
 type arec = {
@@ -49,7 +53,34 @@ type arec = {
   mutable stall_since : Time.t;
   mutable wait_token : int;
       (** invalidates stale recv-deadline timers (fault injection) *)
+  mutable cur_action : Proc.action option;
+      (** the pure action whose interpretation is in progress — what a
+          migration parks when the activity is blocked in a receive *)
+  mutable mig_park : (Controller.mig_image option -> unit) option;
+      (** pending quiesce: park at the next TMCall boundary *)
+  mutable mig_action : Proc.action option;
+      (** parked continuation to replay after a migration installs us *)
 }
+
+(* The migration image: everything runtime-independent about an activity.
+   The [Proc] continuation inside [im_action] is pure by construction
+   (response -> action), so replaying it on another tile's runtime is
+   sound; everything tile-bound (the syscall channel endpoints, the env)
+   is rebuilt at install time. *)
+type Controller.mig_image +=
+  | Image of {
+      im_aid : act_id;
+      im_name : string;
+      im_program : Act_api.env -> unit Proc.t;
+      im_premap : bool;
+      im_addr : Addrspace.t;
+      im_action : Proc.action option;  (** [None]: never started *)
+      im_started : bool;
+      im_busy_ps : int;
+      im_bucket : string;
+    }
+
+let () = M3v_sim.Checkpoint.register_exts [ [%extension_constructor Image] ]
 
 type t = {
   rmode : mode;
@@ -167,7 +198,7 @@ let make_ready t (a : arec) =
   | Blocked_recv | Blocked_fault ->
       a.st <- Ready;
       Queue.add a.aid t.runq
-  | Ready | Running | Stalled | Polling | Dead -> ()
+  | Ready | Running | Stalled | Polling | Migrating | Dead -> ()
 
 let rec schedule_dispatch t =
   if t.rmode = M3v_mode && not t.dispatch_pending then begin
@@ -184,7 +215,9 @@ and do_dispatch t =
     match Queue.take_opt t.runq with
     | None -> () (* idle *)
     | Some aid -> (
-        let a = find t aid in
+        match Hashtbl.find_opt t.acts aid with
+        | None -> do_dispatch t (* migrated away; stale queue entry *)
+        | Some a -> (
         match a.st with
         | Ready ->
             a.st <- Running;
@@ -209,9 +242,10 @@ and do_dispatch t =
                 note_run_start t;
                 arm_watchdog t a;
                 resume_act t a)
-        | Running | Stalled | Blocked_recv | Blocked_fault | Polling | Dead ->
+        | Running | Stalled | Blocked_recv | Blocked_fault | Polling
+        | Migrating | Dead ->
             (* Stale queue entry; try the next one. *)
-            do_dispatch t)
+            do_dispatch t))
 
 and resume_act t (a : arec) =
   (* Any resume invalidates a pending recv-deadline timer for this wait. *)
@@ -225,10 +259,19 @@ and resume_act t (a : arec) =
     | Some f ->
         a.resume <- None;
         f ()
-    | None ->
-        failwith
-          (Printf.sprintf "Runtime: activity %s resumed without continuation"
-             a.aname)
+    | None -> (
+        match a.mig_action with
+        | Some action ->
+            (* First dispatch after a migration: replay the op the source
+               parked.  The op never half-ran — parking happens at the
+               boundary, and a blocked receive consumed nothing — so the
+               replay is exactly-once. *)
+            a.mig_action <- None;
+            exec t a action
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Runtime: activity %s resumed without continuation" a.aname))
 
 (* --- core requests (vDTU -> TileMux interrupts, M3v only) --- *)
 
@@ -456,11 +499,58 @@ and act_finished t (a : arec) ~code =
   send_ctl t a (Proto.Sys (Proto.Act_exit { code })) ~k:(fun () ->
       a.st <- Dead;
       Dtu.tlb_invalidate_act t.dtu a.aid;
+      (* A quiesce that raced the exit loses: tell the migration protocol
+         there is nothing left to move. *)
+      (match a.mig_park with
+      | Some park ->
+          a.mig_park <- None;
+          park None
+      | None -> ());
       if t.current = Some a.aid then begin
         note_run_end t a ~why:"exit";
         t.current <- None;
         if t.rmode = M3v_mode then schedule_dispatch t
       end)
+
+(* --- migration: parking --- *)
+
+(* Park the activity for migration: strip it off this runtime entirely and
+   hand its image to the controller.  [action] is the pure continuation to
+   replay on the target ([None] if the program never started).  Runs at a
+   TMCall boundary, so no DTU command is in flight and no op has
+   half-executed. *)
+and mig_park_now t (a : arec) action =
+  a.wait_token <- a.wait_token + 1;
+  let park =
+    match a.mig_park with Some k -> k | None -> assert false
+  in
+  a.mig_park <- None;
+  a.resume <- None;
+  a.wait_eps <- [];
+  let was_current = t.current = Some a.aid in
+  if was_current then begin
+    note_run_end t a ~why:"migrate";
+    t.current <- None
+  end;
+  Hashtbl.remove t.acts a.aid;
+  t.spawn_order <- List.filter (fun id -> id <> a.aid) t.spawn_order;
+  Stats.Counter.incr t.counters "mig_park";
+  mux_instant t "mig_park";
+  if was_current && t.rmode = M3v_mode then schedule_dispatch t;
+  park
+    (Some
+       (Image
+          {
+            im_aid = a.aid;
+            im_name = a.aname;
+            im_program = a.program;
+            im_premap = a.premap;
+            im_addr = a.addr;
+            im_action = action;
+            im_started = a.started;
+            im_busy_ps = a.busy_ps;
+            im_bucket = a.bucket;
+          }))
 
 (* --- watchdog (fault injection only) ---
 
@@ -492,21 +582,35 @@ and watchdog_fire t ~aid ~epoch ~busy0 =
             mux_instant t "watchdog_kill";
             act_finished t a ~code:137
         | Running | Stalled -> arm_watchdog t a
-        | Ready | Blocked_recv | Blocked_fault | Polling | Dead -> ())
+        | Ready | Blocked_recv | Blocked_fault | Polling | Migrating | Dead ->
+            ())
 
 (* --- the interpreter --- *)
 
 and exec t (a : arec) (action : Proc.action) =
   if a.st = Dead then ()
-  else if t.irq_pending && t.rmode = M3v_mode then begin
-    t.irq_pending <- false;
-    handle_core_reqs t ~k:(fun () -> exec_steps t a action)
-  end
-  else exec_steps t a action
+  else
+    match (a.mig_park, action) with
+    | Some _, (Proc.Request _ as req) ->
+        (* A migration is waiting for us to reach a TMCall boundary — this
+           is one.  (A [Finished] action falls through: exit wins over
+           migration, and [act_finished] reports the lost race.) *)
+        mig_park_now t a (Some req)
+    | _ ->
+        if t.irq_pending && t.rmode = M3v_mode then begin
+          t.irq_pending <- false;
+          handle_core_reqs t ~k:(fun () -> exec_steps t a action)
+        end
+        else exec_steps t a action
 
 and exec_steps t (a : arec) = function
   | Proc.Finished -> act_finished t a ~code:0
-  | Proc.Request (op, k) -> interp t a op (fun resp -> exec t a (k resp))
+  | Proc.Request (op, k) as action ->
+      (* Remember the op being interpreted: if the activity blocks inside
+         it and a migration parks it there, the target replays exactly
+         this action. *)
+      a.cur_action <- Some action;
+      interp t a op (fun resp -> exec t a (k resp))
 
 and interp t (a : arec) op (k : Proc.resp -> unit) =
   (* Every TMCall boundary is a crash/hang injection point. *)
@@ -744,7 +848,9 @@ and arm_recv_deadline t (a : arec) ?deadline () =
                   arm_watchdog t a;
                   charge_act t a (2 * t.core.Core_model.mmio_cycles) (fun () ->
                       resume_act t a)
-              | Ready | Running | Stalled | Blocked_fault | Polling | Dead -> ())
+              | Ready | Running | Stalled | Blocked_fault | Polling
+              | Migrating | Dead ->
+                  ())
           | Some _ | None -> ())
 
 and do_send t (a : arec) ~ep ~reply_ep ~vaddr ~size ~data ~k =
@@ -881,7 +987,8 @@ let on_core_req_irq t =
                 t.current <- None;
                 schedule_dispatch t
               end)
-      | Running | Stalled | Ready | Blocked_recv | Blocked_fault | Dead ->
+      | Running | Stalled | Ready | Blocked_recv | Blocked_fault | Migrating
+      | Dead ->
           t.irq_pending <- true)
 
 (* --- crash recovery: restart a dead service activity --- *)
@@ -907,6 +1014,93 @@ let respawn t ~act =
   mux_instant t "respawn";
   Queue.add a.aid t.runq;
   if t.rmode = M3v_mode then schedule_dispatch t
+
+(* --- migration stub (M3v) --- *)
+
+let mig_quiesce t ~act ~k =
+  match Hashtbl.find_opt t.acts act with
+  | None -> k None
+  | Some a -> (
+      match a.st with
+      | Dead -> k None
+      | (Blocked_recv | Ready) when not a.started ->
+          (* Never ran: nothing to park beyond the program itself. *)
+          a.mig_park <- Some k;
+          mig_park_now t a None
+      | Blocked_recv | Polling ->
+          (* Blocked inside a receive that consumed nothing: park the
+             recorded [Op_recv] action and replay it on the target. *)
+          a.mig_park <- Some k;
+          mig_park_now t a a.cur_action
+      | Ready | Running | Stalled | Blocked_fault | Migrating ->
+          (* Mid-op (or mid-pager-round-trip): park at the next TMCall
+             boundary the interpreter reaches. *)
+          a.mig_park <- Some k)
+
+let mig_install t ~image ~sys_sgate ~sys_rgate =
+  match image with
+  | Image
+      {
+        im_aid;
+        im_name;
+        im_program;
+        im_premap;
+        im_addr;
+        im_action;
+        im_started;
+        im_busy_ps;
+        im_bucket;
+      } ->
+      let env = { Act_api.aid = im_aid; tile = t.rtile; sys_sgate; sys_rgate } in
+      let a =
+        {
+          aid = im_aid;
+          aname = im_name;
+          env;
+          program = im_program;
+          premap = im_premap;
+          addr = im_addr;
+          st = Migrating;
+          resume = None;
+          wait_eps = [];
+          slice_left = t.timeslice;
+          busy_ps = im_busy_ps;
+          bucket = im_bucket;
+          started = im_started;
+          wake_sent = false;
+          stall_since = Time.zero;
+          wait_token = 0;
+          cur_action = im_action;
+          mig_park = None;
+          mig_action = im_action;
+        }
+      in
+      Hashtbl.replace t.acts im_aid a;
+      t.spawn_order <- t.spawn_order @ [ im_aid ];
+      Stats.Counter.incr t.counters "mig_install";
+      mux_instant t "mig_install"
+  | _ -> invalid_arg "Runtime: foreign migration image"
+
+let mig_resume t ~act =
+  let a = find t act in
+  if a.st <> Migrating then
+    invalid_arg
+      (Printf.sprintf "Runtime.mig_resume: activity %s is not parked" a.aname);
+  a.st <- Ready;
+  Queue.add a.aid t.runq;
+  Stats.Counter.incr t.counters "mig_resume";
+  mux_instant t "mig_resume";
+  if t.rmode = M3v_mode then schedule_dispatch t
+
+let install_mig_stub t =
+  Controller.register_mig_stub t.ctrl ~tile:t.rtile
+    {
+      Controller.mig_quiesce = (fun ~act ~k -> mig_quiesce t ~act ~k);
+      mig_install =
+        (fun ~image ~sys_sgate ~sys_rgate ->
+          mig_install t ~image ~sys_sgate ~sys_rgate);
+      mig_resume = (fun ~act -> mig_resume t ~act);
+    }
 
 (* --- M3x stub --- *)
 
@@ -1008,7 +1202,8 @@ let create ~mode ~controller ~tile ?(timeslice = Time.ms 1) () =
   | M3x_mode -> install_mx_stub t
   | M3v_mode ->
       Controller.register_restart_hook controller ~tile (fun act ->
-          respawn t ~act));
+          respawn t ~act);
+      install_mig_stub t);
   t
 
 let spawn t ~name ?(premap = true) ~program () =
@@ -1035,6 +1230,9 @@ let spawn t ~name ?(premap = true) ~program () =
       wake_sent = false;
       stall_since = Time.zero;
       wait_token = 0;
+      cur_action = None;
+      mig_park = None;
+      mig_action = None;
     }
   in
   Hashtbl.replace t.acts aid a;

@@ -5,6 +5,10 @@ module Msg = M3v_dtu.Msg
 
 type M3v_dtu.Msg.data += Data of bytes | End_of_stream
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [ [%extension_constructor Data]; [%extension_constructor End_of_stream] ]
+
 type t = {
   engine : Engine.t;
   dtu : Dtu.t;

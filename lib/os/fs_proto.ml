@@ -31,6 +31,10 @@ type fs_rep =
    timed out and retried can discard replies to abandoned attempts. *)
 type M3v_dtu.Msg.data += Fs of int * fs_req | Fs_rep of int * fs_rep
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [ [%extension_constructor Fs]; [%extension_constructor Fs_rep] ]
+
 let inline_limit = 256
 
 let req_size = function

@@ -24,6 +24,14 @@ type M3v_dtu.Msg.data +=
   | Net_rep of int * net_rep
   | Nic_rx of packet
 
+let () =
+  M3v_sim.Checkpoint.register_exts
+    [
+      [%extension_constructor Net];
+      [%extension_constructor Net_rep];
+      [%extension_constructor Nic_rx];
+    ]
+
 let req_size = function
   | Socket -> 8
   | Bind _ -> 16

@@ -1,0 +1,194 @@
+(* Whole-simulator checkpoints are just the object graph rooted at a
+   user-chosen state record, marshalled with closures.  Everything the
+   engine schedules is a closure over the very components being saved, so
+   capturing the root captures the event heap, every DTU/kernel/runtime
+   record and all in-flight continuations in one traversal — no per-module
+   serializers to keep in sync.
+
+   The price is binary coupling: OCaml closures marshal as code pointers
+   plus an MD5 digest of the code area, so a checkpoint is only readable
+   by the executable that wrote it.  [load] turns the digest mismatch into
+   an [Error] instead of an exception.  Domain-local state (the fault
+   plan, trace sinks, the message uid counter) is NOT reachable from the
+   heap graph — callers must put what they need into the state record
+   explicitly and reinstall it on restore.
+
+   One more thing Marshal gets wrong for us: extension constructors
+   (every [type Msg.data += ...] payload, every exception value) are
+   matched by physical identity of their constructor slot, and
+   [Marshal.from_channel] rebuilds a fresh copy of each slot.  An
+   in-flight message saved in a checkpoint would therefore stop matching
+   its own constructor after restore and silently fall into wildcard
+   branches — the simulation keeps running but takes different paths, so
+   resume is no longer byte-identical.  [load] fixes this by re-interning:
+   it walks the loaded graph and replaces every constructor-slot copy with
+   the canonical slot of this process, looked up by the constructor's
+   fully-qualified name in a registry that defining modules populate at
+   init time ({!register_exts}).  An unregistered constructor in the graph
+   is an [Error], not a silent divergence. *)
+
+let magic = "M3VCKPT1"
+
+(* --- extension-constructor registry --- *)
+
+let ext_registry : (string, Obj.t) Hashtbl.t = Hashtbl.create 64
+
+let register_exts ecs =
+  List.iter
+    (fun ec ->
+      let name = Obj.Extension_constructor.name ec in
+      match Hashtbl.find_opt ext_registry name with
+      | Some existing when existing != Obj.repr ec ->
+          invalid_arg
+            ("Checkpoint.register_exts: two distinct constructors named "
+           ^ name)
+      | _ -> Hashtbl.replace ext_registry name (Obj.repr ec))
+    ecs
+
+(* The predefined and stdlib exceptions a checkpointed graph could
+   plausibly hold (e.g. a stored [exn] in a result or a finaliser). *)
+let () =
+  register_exts
+    [
+      [%extension_constructor Out_of_memory];
+      [%extension_constructor Sys_error];
+      [%extension_constructor Failure];
+      [%extension_constructor Invalid_argument];
+      [%extension_constructor End_of_file];
+      [%extension_constructor Division_by_zero];
+      [%extension_constructor Not_found];
+      [%extension_constructor Match_failure];
+      [%extension_constructor Stack_overflow];
+      [%extension_constructor Sys_blocked_io];
+      [%extension_constructor Assert_failure];
+      [%extension_constructor Undefined_recursive_module];
+      [%extension_constructor Exit];
+      [%extension_constructor Fun.Finally_raised];
+    ]
+
+(* --- re-interning traversal ---
+
+   A depth-first walk over the loaded graph with [Obj], rewriting every
+   field that holds an extension-constructor slot (an [object_tag] block
+   of size 2 whose first field is the name string — real objects carry a
+   method-table block there, so the shapes cannot be confused).  Closure
+   blocks are scanned from their environment start (parsed out of the
+   closinfo word, exactly as the GC does) so code pointers are never
+   touched; infix pointers are normalised to their enclosing block.
+
+   The visited set hashes blocks by address, so the graph must not move
+   mid-walk: [load] promotes it to the major heap with a full collection
+   first and disables heap compaction for the duration.  The walk's own
+   fresh allocations are free to move — only the keys must stay put. *)
+
+(* A block's identity during the walk is its address shifted to a
+   well-formed OCaml int (blocks are word-aligned, so no two block starts
+   collide).  The walk holds the GC still — graph promoted to the major
+   heap, compaction off — so the key is stable. *)
+let addr_key (o : Obj.t) : int = (Obj.magic o : int) asr 2
+
+(* closinfo (field 1 of a closure) as an OCaml int: arity in the top 8
+   bits, start-of-environment below. *)
+let startenv_mask = (1 lsl (Sys.int_size - 8)) - 1
+let word_bytes = Sys.word_size / 8
+
+let repair_exts (root : Obj.t) : string list =
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 65536 in
+  let stack = Stack.create () in
+  let missing = Hashtbl.create 8 in
+  let is_ext_slot o =
+    Obj.tag o = Obj.object_tag
+    && Obj.size o = 2
+    &&
+    let f0 = Obj.field o 0 in
+    (not (Obj.is_int f0)) && Obj.tag f0 = Obj.string_tag
+  in
+  let push o =
+    if not (Obj.is_int o) then begin
+      let o =
+        if Obj.tag o = Obj.infix_tag then
+          Obj.add_offset o (Int32.of_int (-word_bytes * Obj.size o))
+        else o
+      in
+      if Obj.tag o < Obj.no_scan_tag && not (Hashtbl.mem visited (addr_key o))
+      then begin
+        Hashtbl.replace visited (addr_key o) ();
+        Stack.push o stack
+      end
+    end
+  in
+  push root;
+  while not (Stack.is_empty stack) do
+    let b = Stack.pop stack in
+    let start =
+      if Obj.tag b = Obj.closure_tag then
+        (Obj.obj (Obj.field b 1) : int) land startenv_mask
+      else 0
+    in
+    for i = start to Obj.size b - 1 do
+      let f = Obj.field b i in
+      if not (Obj.is_int f) then
+        if is_ext_slot f then begin
+          let name : string = Obj.obj (Obj.field f 0) in
+          match Hashtbl.find_opt ext_registry name with
+          | Some canonical -> if canonical != f then Obj.set_field b i canonical
+          | None -> Hashtbl.replace missing name ()
+        end
+        else push f
+    done
+  done;
+  Hashtbl.fold (fun name () acc -> name :: acc) missing []
+  |> List.sort String.compare
+
+let with_compaction_disabled f =
+  let g = Gc.get () in
+  Gc.set { g with Gc.max_overhead = 1_000_000 };
+  Fun.protect ~finally:(fun () -> Gc.set g) f
+
+let re_intern v =
+  Gc.full_major ();
+  match with_compaction_disabled (fun () -> repair_exts (Obj.repr v)) with
+  | [] -> Ok v
+  | missing ->
+      Error
+        ("checkpoint holds unregistered extension constructors: "
+        ^ String.concat ", " missing
+        ^ "; their defining module must call Checkpoint.register_exts")
+
+(* --- file codec --- *)
+
+let save ~path v =
+  (* Write-then-rename so an interrupted save never clobbers the previous
+     good checkpoint with a truncated file. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc v [ Marshal.Closures ]);
+  Sys.rename tmp path
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (String.length magic) with
+          | exception End_of_file ->
+              Error (path ^ ": truncated checkpoint header")
+          | got when got <> magic ->
+              Error (path ^ ": not an M3v checkpoint (bad magic)")
+          | _ -> (
+              match Marshal.from_channel ic with
+              | v -> re_intern v
+              | exception End_of_file -> Error (path ^ ": truncated checkpoint")
+              | exception Failure msg ->
+                  (* Typically "input_value: code mismatch": the file was
+                     written by a different build of the binary. *)
+                  Error
+                    (path ^ ": unreadable checkpoint (" ^ msg
+                   ^ "); checkpoints are only valid for the binary that \
+                      wrote them")))

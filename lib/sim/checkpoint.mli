@@ -1,0 +1,46 @@
+(** Whole-simulator checkpoint/restore.
+
+    [save] marshals an arbitrary state record — closures included — to a
+    versioned file; [load] reads it back.  Because the engine's event heap
+    holds closures over every simulation component, saving a record that
+    references the engine (directly or through {!Engine.t} owners like a
+    system handle) captures the complete simulator: clock, pending events,
+    DTU/kernel/runtime state and RNG streams.  Restoring it in a fresh
+    process of the {e same binary} resumes the run byte-identically.
+
+    Caveats, by construction of [Marshal]:
+
+    - A checkpoint is only readable by the executable that wrote it
+      (closures marshal as code pointers + a code digest); [load] reports
+      a mismatch as [Error].
+    - Domain-local and global mutable state outside the saved graph — the
+      installed fault plan, trace sinks, {!M3v_dtu.Msg}'s uid counter — is
+      not captured.  Callers embed those values in their state record and
+      reinstall them after [load].
+    - Channels and other custom blocks must not be reachable from the
+      state record; checkpointing a run with a live trace sink attached to
+      a file is unsupported.
+    - Extension constructors ([type Msg.data += ...], exceptions) are
+      matched by physical identity, which a Marshal round trip breaks.
+      [load] repairs this by re-interning every constructor slot in the
+      loaded graph against this process's canonical slot, found by name in
+      a registry; modules whose constructors can appear in a checkpointed
+      graph register them with {!register_exts} at init time.  A loaded
+      graph holding an unregistered constructor is an [Error]. *)
+
+(** [register_exts ecs] declares canonical extension constructors for
+    {!load}'s re-interning pass, e.g.
+    [register_exts [[%extension_constructor Raw]]] next to the type
+    declaration.  Idempotent; registering two distinct constructors with
+    the same fully-qualified name raises [Invalid_argument]. *)
+val register_exts : Obj.Extension_constructor.t list -> unit
+
+(** [save ~path v] atomically writes [v] (with closures) to [path]. *)
+val save : path:string -> 'a -> unit
+
+(** [load ~path] reads a value saved by {!save}.  The result type is the
+    caller's claim, exactly as with [Marshal.from_channel] — loading into
+    the wrong type is unsound; keep one state type per file format.
+    Errors (missing file, bad magic, truncation, different binary) are
+    returned, not raised. *)
+val load : path:string -> ('a, string) result

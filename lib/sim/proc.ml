@@ -1,6 +1,11 @@
 type op = ..
 type resp = ..
 type resp += Unit | Error of string
+
+let () =
+  Checkpoint.register_exts
+    [ [%extension_constructor Unit]; [%extension_constructor Error] ]
+
 type action = Finished | Request of op * (resp -> action)
 type 'a t = ('a -> action) -> action
 

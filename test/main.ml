@@ -16,5 +16,6 @@ let () =
       ("props", Test_props.suite);
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
+      ("migrate", Test_migrate.suite);
       ("obs", Test_obs.suite);
     ]

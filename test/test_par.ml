@@ -281,7 +281,11 @@ let test_bench_io_compare () =
       [ ("a", Some 110.0); ("b", Some 200.0); ("new", Some 10.0); ("c", Some 5.0) ]
   in
   let cmp = Bench_io.compare ~threshold_pct:25.0 ~baseline ~current in
-  check_int "all tests reported" 5 (List.length cmp.Bench_io.deltas);
+  check_int "only both-sided tests compared" 3 (List.length cmp.Bench_io.deltas);
+  check_bool "retired test warned, not compared" true
+    (cmp.Bench_io.baseline_only = [ "gone" ]);
+  check_bool "added test warned, not compared" true
+    (cmp.Bench_io.current_only = [ "new" ]);
   (match cmp.Bench_io.regressions with
   | [ d ] ->
       check_string "only b regressed" "b" d.Bench_io.test;
