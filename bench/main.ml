@@ -71,6 +71,21 @@ let tests =
     Test.make ~name:"ablation_migrate"
       (Staged.stage (fun () ->
            ignore (M3v.Exp_migrate.run ~rounds:60 ~rates:[ 10_000 ] ())));
+    Test.make ~name:"load_harness"
+      (Staged.stage (fun () ->
+           ignore
+             (M3v.Exp_load.run
+                ~cfg:
+                  {
+                    M3v.Exp_load.default with
+                    clients = 200;
+                    drivers = 2;
+                    rate_per_s = 400.0;
+                    warmup_ms = 10;
+                    duration_ms = 40;
+                    fracs = [ 0.5; 1.0 ];
+                  }
+                ())));
   ]
 
 let bechamel () =

@@ -128,6 +128,117 @@ let fanin_cmd =
           $ trace $ metrics $ faults $ fault_seed $ jobs $ fanin_msgs
           $ fanin_senders)
 
+let load_clients =
+  let doc = "Total simulated clients in the fleet." in
+  Arg.(value & opt int 100_000 & info [ "clients" ] ~docv:"N" ~doc)
+
+let load_drivers =
+  let doc = "Driver activities the clients multiplex onto (1-8)." in
+  Arg.(value & opt int 8 & info [ "drivers" ] ~docv:"N" ~doc)
+
+let load_rate =
+  let doc = "Aggregate offered load (requests/s) at step fraction 1.0." in
+  Arg.(value & opt float 2000.0 & info [ "rate" ] ~docv:"R" ~doc)
+
+let load_mix =
+  let doc =
+    "Request mix as class=weight pairs over udp, get, put and fs, e.g. \
+     udp=50,get=25,put=10,fs=15 (the default)."
+  in
+  Arg.(value & opt (some string) None & info [ "mix" ] ~docv:"SPEC" ~doc)
+
+let load_skew =
+  let doc = "Zipf theta over the key space, in [0, 1)." in
+  Arg.(value & opt float 0.99 & info [ "skew" ] ~docv:"THETA" ~doc)
+
+let load_keys =
+  let doc = "Key-space size." in
+  Arg.(value & opt int 4096 & info [ "keys" ] ~docv:"N" ~doc)
+
+let load_duration =
+  let doc = "Measurement window per step, simulated milliseconds." in
+  Arg.(value & opt int 200 & info [ "duration" ] ~docv:"MS" ~doc)
+
+let load_steps =
+  let doc = "Comma-separated load steps as fractions of --rate." in
+  Arg.(value
+       & opt (list float) [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5 ]
+       & info [ "steps" ] ~docv:"F,..." ~doc)
+
+let load_closed =
+  let doc =
+    "Closed-loop fleet (each client thinks --think-ms between requests) \
+     instead of the default open loop."
+  in
+  Arg.(value & flag & info [ "closed" ] ~doc)
+
+let load_think =
+  let doc = "Closed-loop mean think time (ms) at step fraction 1.0." in
+  Arg.(value & opt int 500 & info [ "think-ms" ] ~docv:"MS" ~doc)
+
+let load_arrivals =
+  let doc = "Open-loop arrival process: poisson or bursty (2-state MMPP)." in
+  Arg.(value
+       & opt (enum [ ("poisson", M3v_load.Fleet.Poisson);
+                     ("bursty", M3v_load.Fleet.Bursty) ])
+           M3v_load.Fleet.Poisson
+       & info [ "arrivals" ] ~docv:"KIND" ~doc)
+
+let load_slo =
+  let doc = "SLO bound on overall p99 latency (us) for knee detection." in
+  Arg.(value & opt float 5000.0 & info [ "slo-p99-us" ] ~docv:"US" ~doc)
+
+let load_seed =
+  let doc = "Fleet schedule seed (same seed = byte-identical report)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let load_cmd =
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Load harness: open/closed-loop client fleets drive net + m3fs + \
+          the key-value service at swept offered load; reports \
+          latency-vs-load SLO tables (p50/p99/p999), detects the \
+          saturation knee and attributes the bottleneck from the \
+          critical-path profiler")
+    Term.(const (fun trace metrics faults fault_seed jobs clients drivers rate
+                     mix skew keys duration steps closed think_ms arrivals slo
+                     seed ->
+              let mix =
+                match mix with
+                | None -> M3v_load.Fleet.default_mix
+                | Some s -> (
+                    match M3v_load.Fleet.parse_mix s with
+                    | Ok m -> m
+                    | Error e ->
+                        Format.eprintf "m3vsim load: bad --mix: %s@." e;
+                        Stdlib.exit 2)
+              in
+              let cfg =
+                {
+                  M3v.Exp_load.default with
+                  clients;
+                  drivers;
+                  rate_per_s = rate;
+                  closed;
+                  think_ms;
+                  arrivals;
+                  mix;
+                  skew;
+                  keys;
+                  duration_ms = duration;
+                  fracs = steps;
+                  slo_p99_us = slo;
+                  seed;
+                }
+              in
+              M3v.Exp_runner.load ?trace ?metrics ?faults ~fault_seed ?jobs
+                ~cfg ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ load_clients
+          $ load_drivers $ load_rate $ load_mix $ load_skew $ load_keys
+          $ load_duration $ load_steps $ load_closed $ load_think
+          $ load_arrivals $ load_slo $ load_seed)
+
 let mig_rounds =
   let doc = "RPCs the client drives through the migrating server." in
   Arg.(value & opt int 0 & info [ "rounds" ] ~doc)
@@ -303,6 +414,7 @@ let () =
             complexity_cmd;
             ablations_cmd;
             fanin_cmd;
+            load_cmd;
             profile_cmd;
             all_cmd;
           ]))

@@ -25,47 +25,7 @@ let value_for rng ~size =
 let load ~records ~value_size rng =
   List.init records (fun i -> (record_key i, value_for rng ~size:value_size))
 
-module Zipf = struct
-  type t = {
-    n : int;
-    theta : float;
-    zetan : float;
-    alpha : float;
-    eta : float;
-    rng : Rng.t;
-  }
-
-  let zeta n theta =
-    let sum = ref 0.0 in
-    for i = 1 to n do
-      sum := !sum +. (1.0 /. (float_of_int i ** theta))
-    done;
-    !sum
-
-  let create ?(theta = 0.99) ~n rng =
-    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
-    let zetan = zeta n theta in
-    let zeta2 = zeta 2 theta in
-    let alpha = 1.0 /. (1.0 -. theta) in
-    let eta =
-      (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
-      /. (1.0 -. (zeta2 /. zetan))
-    in
-    { n; theta; zetan; alpha; eta; rng }
-
-  (* Gray et al.'s quick Zipfian sampler, as used by YCSB. *)
-  let sample t =
-    let u = Rng.float t.rng in
-    let uz = u *. t.zetan in
-    if uz < 1.0 then 0
-    else if uz < 1.0 +. (0.5 ** t.theta) then 1
-    else
-      let v =
-        float_of_int t.n
-        *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha)
-      in
-      min (t.n - 1) (int_of_float v)
-end
+module Zipf = M3v_load.Sampler.Zipf
 
 (* Proportions per workload: (read, insert, update, scan) summing to 100. *)
 let mix = function
@@ -75,18 +35,27 @@ let mix = function
   | Scan_heavy -> (10, 10, 0, 80)
   | Mixed -> (50, 10, 30, 10)
 
+type op_tag = T_read | T_insert | T_update | T_scan
+
 let ops workload ~records ~count ?(value_size = 1024) ?(scan_length = 20) rng =
   let zipf = Zipf.create ~n:records rng in
   let next_insert = ref records in
-  let r, i, u, _s = mix workload in
+  let r, i, u, s = mix workload in
+  (* Weights sum to 100, so each sample is one [Rng.int rng 100] walked
+     through the cumulative thresholds in read-insert-update-scan order —
+     the same dice stream this generator has always consumed. *)
+  let tag_mix =
+    M3v_load.Sampler.Mix.create
+      [ (T_read, r); (T_insert, i); (T_update, u); (T_scan, s) ]
+      rng
+  in
   List.init count (fun _ ->
-      let dice = Rng.int rng 100 in
-      if dice < r then Read (record_key (Zipf.sample zipf))
-      else if dice < r + i then begin
-        let key = record_key !next_insert in
-        incr next_insert;
-        Insert (key, value_for rng ~size:value_size)
-      end
-      else if dice < r + i + u then
-        Update (record_key (Zipf.sample zipf), value_for rng ~size:value_size)
-      else Scan (record_key (Zipf.sample zipf), scan_length))
+      match M3v_load.Sampler.Mix.sample tag_mix with
+      | T_read -> Read (record_key (Zipf.sample zipf))
+      | T_insert ->
+          let key = record_key !next_insert in
+          incr next_insert;
+          Insert (key, value_for rng ~size:value_size)
+      | T_update ->
+          Update (record_key (Zipf.sample zipf), value_for rng ~size:value_size)
+      | T_scan -> Scan (record_key (Zipf.sample zipf), scan_length))

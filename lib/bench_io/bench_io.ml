@@ -351,15 +351,31 @@ let pp_comparison ~threshold_pct ~baseline ~current ff cmp =
           Format.fprintf ff "  %-18s %a %a %9s@." d.test pp_ns d.base_ns pp_ns
             d.cur_ns "-")
     cmp.deltas;
+  (* A one-sided entry still gets its absolute value printed: a freshly
+     added benchmark should be readable from the comparison output even
+     before a baseline exists for it. *)
+  let abs_ns results name =
+    match
+      List.find_map
+        (fun r -> if r.name = name then r.ns_per_run else None)
+        results
+    with
+    | Some ns -> Format.asprintf "%.0f ns/run" ns
+    | None -> "no measurement"
+  in
   List.iter
     (fun name ->
       Format.fprintf ff
-        "  warning: %s is only in the baseline report (skipped)@." name)
+        "  warning: %s is only in the baseline report (skipped; baseline %s)@."
+        name
+        (abs_ns baseline.results name))
     cmp.baseline_only;
   List.iter
     (fun name ->
       Format.fprintf ff
-        "  warning: %s is only in the current report (skipped)@." name)
+        "  warning: %s is only in the current report (skipped; current %s)@."
+        name
+        (abs_ns current.results name))
     cmp.current_only;
   match cmp.regressions with
   | [] ->

@@ -137,6 +137,13 @@ let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~msgs ~senders () =
                   Exp_fanin.print
                     (Exp_fanin.run ~pool ?msgs:(opt msgs) ?sender_counts ())))))
 
+let load ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~cfg () =
+  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+      with_faults ?faults ~fault_seed (fun () ->
+          with_trace trace (fun () ->
+              with_metrics metrics (fun () ->
+                  Exp_load.print (Exp_load.run ~pool ~cfg ())))))
+
 (* Both halves of the ablation in one report: the clean sweep, then the
    same sweep under a [mig_abort] fault plan (installed per task inside
    [Exp_migrate.run], so the points still fan out over the pool). *)

@@ -60,6 +60,14 @@ val fanin :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
   ?jobs:int -> msgs:int -> senders:int list -> unit -> unit
 
+(** Load harness ({!Exp_load}): client fleets at swept offered load over
+    net + m3fs + the key-value service, with SLO tables, knee detection
+    and bottleneck attribution.  Steps fan out over the pool; output is
+    byte-identical across [--jobs] settings. *)
+val load :
+  ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
+  ?jobs:int -> cfg:Exp_load.config -> unit -> unit
+
 (** Live-migration ablation ({!Exp_migrate}): downtime and exactly-once
     delivery vs message rate, swept clean and under a [mig_abort] fault
     plan.  [rounds] <= 0 and [rates = []] pick the defaults. *)

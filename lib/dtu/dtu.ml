@@ -62,6 +62,7 @@ type stats = {
   mpmc_doorbells_coalesced : int;
   mpmc_refund_flushes : int;
   mpmc_credits_refunded : int;
+  credit_stalls : int;
 }
 
 let empty_stats =
@@ -84,6 +85,7 @@ let empty_stats =
     mpmc_doorbells_coalesced = 0;
     mpmc_refund_flushes = 0;
     mpmc_credits_refunded = 0;
+    credit_stalls = 0;
   }
 
 type t = {
@@ -566,6 +568,8 @@ let send t ~ep ?reply_ep ?src_vaddr ?issue_ts ~msg_size data ~k =
             | Error err -> complete_local t ~k (Error err)
             | Ok () ->
                 if s.Ep.credits <= 0 then begin
+                  t.stats <-
+                    { t.stats with credit_stalls = t.stats.credit_stalls + 1 };
                   if Metrics.on () then
                     Metrics.counter_incr ~name:"dtu/credit_stall" ~tile:t.tile
                       ();

@@ -251,6 +251,10 @@ type stats = {
       (** MPMC arrivals absorbed by an already-pending doorbell *)
   mpmc_refund_flushes : int;  (** batched credit packets sent by MPMC acks *)
   mpmc_credits_refunded : int;  (** credits carried by those packets *)
+  credit_stalls : int;
+      (** send attempts rejected with [No_credits]; each runtime retry spin
+          counts once, so the total measures backpressure pressure, not
+          unique messages *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,271 @@
+open M3v_sim.Proc.Syntax
+module Proc = M3v_sim.Proc
+module Time = M3v_sim.Time
+module Rng = M3v_sim.Rng
+module A = M3v_mux.Act_api
+
+type kind = Kv_get | Kv_put | Fs_read | Udp_echo
+
+let kind_name = function
+  | Kv_get -> "get"
+  | Kv_put -> "put"
+  | Fs_read -> "fs"
+  | Udp_echo -> "udp"
+
+let all_kinds = [ Kv_get; Kv_put; Fs_read; Udp_echo ]
+
+let kind_of_string = function
+  | "get" -> Some Kv_get
+  | "put" -> Some Kv_put
+  | "fs" -> Some Fs_read
+  | "udp" -> Some Udp_echo
+  | _ -> None
+
+let parse_mix s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.split_on_char '=' (String.trim part) with
+        | [ name; weight ] -> (
+            match (kind_of_string name, int_of_string_opt weight) with
+            | Some kind, Some w when w >= 0 -> go ((kind, w) :: acc) rest
+            | None, _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown request class %S (expected get|put|fs|udp)" name)
+            | _, _ -> Error (Printf.sprintf "bad weight in %S" part))
+        | _ -> Error (Printf.sprintf "bad mix entry %S (expected class=weight)" part))
+  in
+  match go [] parts with
+  | Ok [] -> Error "empty mix"
+  | Ok mix when List.for_all (fun (_, w) -> w = 0) mix ->
+      Error "mix weights sum to zero"
+  | r -> r
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map (fun (k, w) -> Printf.sprintf "%s=%d" (kind_name k) w) mix)
+
+type op = { op_kind : kind; op_key : int; op_client : int }
+type arrivals = Poisson | Bursty
+type loop = Open_loop | Closed_loop of { think_ps : int }
+
+type config = {
+  clients : int;
+  drivers : int;
+  rate_per_s : float;
+  loop : loop;
+  arrivals : arrivals;
+  mix : (kind * int) list;
+  skew : float;
+  keys : int;
+  warmup_ps : int;
+  duration_ps : int;
+  seed : int;
+}
+
+let default_mix = [ (Udp_echo, 50); (Kv_get, 25); (Kv_put, 10); (Fs_read, 15) ]
+
+type sample = {
+  s_kind : kind;
+  s_sched : int;
+  s_issue : int;
+  s_done : int;
+  s_ok : bool;
+}
+
+(* Array-backed binary min-heap of (wake ps, client id): the closed-loop
+   think-time queue.  Sized once for the driver's client slice, so a
+   million-client fleet costs two int arrays and no per-op allocation. *)
+module Heap = struct
+  type t = { mutable ts : int array; mutable cl : int array; mutable n : int }
+
+  let create cap = { ts = Array.make (max 1 cap) 0; cl = Array.make (max 1 cap) 0; n = 0 }
+  let size h = h.n
+
+  let swap h i j =
+    let t = h.ts.(i) and c = h.cl.(i) in
+    h.ts.(i) <- h.ts.(j);
+    h.cl.(i) <- h.cl.(j);
+    h.ts.(j) <- t;
+    h.cl.(j) <- c
+
+  let push h ts cl =
+    if h.n = Array.length h.ts then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      h.ts <- grow h.ts;
+      h.cl <- grow h.cl
+    end;
+    h.ts.(h.n) <- ts;
+    h.cl.(h.n) <- cl;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    while !i > 0 && h.ts.((!i - 1) / 2) > h.ts.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let peek_ts h = h.ts.(0)
+
+  let pop h =
+    let ts = h.ts.(0) and cl = h.cl.(0) in
+    h.n <- h.n - 1;
+    h.ts.(0) <- h.ts.(h.n);
+    h.cl.(0) <- h.cl.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && h.ts.(l) < h.ts.(!m) then m := l;
+      if r < h.n && h.ts.(r) < h.ts.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        swap h !i !m;
+        i := !m
+      end
+    done;
+    (ts, cl)
+end
+
+type schedule =
+  | Sched_open of { next_of : unit -> int; mutable pending : int option }
+  | Sched_closed of { heap : Heap.t; think_ps : int }
+
+type driver = {
+  d_rng : Rng.t;
+  d_zipf : Sampler.Zipf.t;
+  d_mix : kind Sampler.Mix.t;
+  d_clients : int;
+  d_client_base : int;
+  d_end_ps : int;
+  d_sched : schedule;
+}
+
+let make_driver cfg i =
+  if cfg.clients <= 0 then invalid_arg "Fleet.make_driver: no clients";
+  if cfg.drivers <= 0 then invalid_arg "Fleet.make_driver: no drivers";
+  if cfg.drivers > cfg.clients then
+    invalid_arg "Fleet.make_driver: more drivers than clients";
+  if i < 0 || i >= cfg.drivers then invalid_arg "Fleet.make_driver: bad index";
+  let rng = Rng.create ~seed:(cfg.seed + (100_003 * (i + 1))) in
+  let base_share = cfg.clients / cfg.drivers in
+  let extra = cfg.clients mod cfg.drivers in
+  let d_clients = base_share + if i < extra then 1 else 0 in
+  let d_client_base = (i * base_share) + min i extra in
+  let d_end_ps = cfg.warmup_ps + cfg.duration_ps in
+  let d_sched =
+    match cfg.loop with
+    | Open_loop ->
+        (* This driver carries its client slice's share of the aggregate
+           rate. *)
+        let rate =
+          cfg.rate_per_s *. float_of_int d_clients /. float_of_int cfg.clients
+        in
+        let next_of =
+          match cfg.arrivals with
+          | Poisson ->
+              let p =
+                Sampler.Poisson.create ~rate_per_s:rate ~start_ps:cfg.warmup_ps
+                  rng
+              in
+              fun () -> Sampler.Poisson.next p
+          | Bursty ->
+              let m =
+                Sampler.Mmpp.create ~rate_per_s:rate ~start_ps:cfg.warmup_ps rng
+              in
+              fun () -> Sampler.Mmpp.next m
+        in
+        Sched_open { next_of; pending = None }
+    | Closed_loop { think_ps } ->
+        if think_ps <= 0 then
+          invalid_arg "Fleet.make_driver: think time must be positive";
+        let heap = Heap.create d_clients in
+        (* Stagger the first wakes uniformly over one think period so the
+           fleet does not arrive in lockstep. *)
+        for c = 0 to d_clients - 1 do
+          Heap.push heap (cfg.warmup_ps + Rng.int rng think_ps) (d_client_base + c)
+        done;
+        Sched_closed { heap; think_ps }
+  in
+  {
+    d_rng = rng;
+    d_zipf = Sampler.Zipf.create ~theta:cfg.skew ~n:cfg.keys rng;
+    d_mix = Sampler.Mix.create cfg.mix rng;
+    d_clients;
+    d_client_base;
+    d_end_ps;
+    d_sched;
+  }
+
+let driver_clients d = d.d_clients
+
+let sample_op d ~client =
+  {
+    op_kind = Sampler.Mix.sample d.d_mix;
+    op_key = Sampler.Zipf.sample d.d_zipf;
+    op_client = client;
+  }
+
+let next d =
+  match d.d_sched with
+  | Sched_open o -> (
+      let ts =
+        match o.pending with
+        | Some ts -> ts
+        | None ->
+            let ts = o.next_of () in
+            o.pending <- Some ts;
+            ts
+      in
+      if ts > d.d_end_ps then None
+      else begin
+        o.pending <- None;
+        let client = d.d_client_base + Rng.int d.d_rng d.d_clients in
+        Some (ts, sample_op d ~client)
+      end)
+  | Sched_closed c ->
+      if Heap.size c.heap = 0 || Heap.peek_ts c.heap > d.d_end_ps then None
+      else begin
+        let ts, client = Heap.pop c.heap in
+        Some (ts, sample_op d ~client)
+      end
+
+let complete d ~client ~done_ps =
+  match d.d_sched with
+  | Sched_open _ -> ()
+  | Sched_closed c ->
+      let think =
+        max 1
+          (int_of_float
+             (Sampler.exponential d.d_rng ~mean:(float_of_int c.think_ps)))
+      in
+      (* Clients whose next wake falls past the window simply retire;
+         [next] never returns them. *)
+      Heap.push c.heap (done_ps + think) client
+
+let driver_program d ~issue ~record () =
+  let rec loop () =
+    match next d with
+    | None -> Proc.return ()
+    | Some (sched, op) ->
+        let* now = A.now in
+        let* () =
+          if now < sched then A.sleep (Time.ps (sched - now)) else Proc.return ()
+        in
+        let* t_issue = A.now in
+        let* ok = issue op in
+        let* t_done = A.now in
+        complete d ~client:op.op_client ~done_ps:t_done;
+        record
+          {
+            s_kind = op.op_kind;
+            s_sched = sched;
+            s_issue = t_issue;
+            s_done = t_done;
+            s_ok = ok;
+          };
+        loop ()
+  in
+  loop ()

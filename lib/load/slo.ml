@@ -1,0 +1,34 @@
+module Stats = M3v_sim.Stats
+
+type row = {
+  label : string;
+  n : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+}
+
+let row_of_latencies ~label = function
+  | [] -> None
+  | us ->
+      Some
+        {
+          label;
+          n = List.length us;
+          mean_us = Stats.mean us;
+          p50_us = Stats.percentile 50.0 us;
+          p99_us = Stats.percentile 99.0 us;
+          p999_us = Stats.percentile 99.9 us;
+          max_us = List.fold_left Float.max neg_infinity us;
+        }
+
+let pp_table fmt rows =
+  Format.fprintf fmt "  %-6s %7s %10s %10s %10s %10s %10s@." "class" "n"
+    "mean(us)" "p50(us)" "p99(us)" "p999(us)" "max(us)";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-6s %7d %10.1f %10.1f %10.1f %10.1f %10.1f@."
+        r.label r.n r.mean_us r.p50_us r.p99_us r.p999_us r.max_us)
+    rows

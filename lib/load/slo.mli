@@ -1,0 +1,16 @@
+(** Per-class latency percentile rows (the SLO table of a load report). *)
+
+type row = {
+  label : string;  (** request class ("udp", "get", ... or "all") *)
+  n : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+}
+
+(** [None] on an empty sample. *)
+val row_of_latencies : label:string -> float list -> row option
+
+val pp_table : Format.formatter -> row list -> unit

@@ -44,6 +44,10 @@ let recv_timeout ~eps ~timeout =
       | r -> Proc.decode_error "recv_timeout" r)
 let try_recv ~eps = Proc.perform (Op_try_recv { tr_eps = eps }) (decode_msg_opt "try_recv")
 
+let sleep d =
+  if d <= 0 then Proc.return ()
+  else Proc.perform (Op_sleep d) (decode_unit "sleep")
+
 let reply ~recv_ep ~msg ?vaddr ~size data =
   Proc.perform
     (Op_reply

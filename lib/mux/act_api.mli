@@ -38,6 +38,12 @@ val recv_timeout :
 
 val try_recv : eps:int list -> (int * M3v_dtu.Msg.t) option Proc.t
 
+(** Block for the given (relative) duration without occupying the core —
+    the tile multiplexes others meanwhile and a timer wakes the activity
+    at the deadline (M3v mode only).  The load harness' fleet drivers
+    pace their arrival schedules with this. *)
+val sleep : M3v_sim.Time.t -> unit Proc.t
+
 val reply :
   recv_ep:int ->
   msg:M3v_dtu.Msg.t ->

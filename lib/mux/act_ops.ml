@@ -36,6 +36,7 @@ type M3v_sim.Proc.op +=
       mw_src_off : int;
     }
   | Op_memcpy of int
+  | Op_sleep of M3v_sim.Time.t
   | Op_yield
   | Op_now
   | Op_alloc_buf of int
@@ -63,6 +64,7 @@ let () =
       [%extension_constructor Op_mem_read];
       [%extension_constructor Op_mem_write];
       [%extension_constructor Op_memcpy];
+      [%extension_constructor Op_sleep];
       [%extension_constructor Op_yield];
       [%extension_constructor Op_now];
       [%extension_constructor Op_alloc_buf];

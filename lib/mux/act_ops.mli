@@ -49,6 +49,9 @@ type M3v_sim.Proc.op +=
       mw_src_off : int;
     }
   | Op_memcpy of int  (** charge a software copy of N bytes *)
+  | Op_sleep of M3v_sim.Time.t
+      (** block until the (relative) deadline; the tile runs others
+          meanwhile.  M3v mode only. *)
   | Op_yield
   | Op_now
   | Op_alloc_buf of int  (** reserve a virtual region of N bytes *)

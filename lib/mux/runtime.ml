@@ -660,6 +660,31 @@ and interp_op t (a : arec) op (k : Proc.resp -> unit) =
       in
       touch_page first
   | Op_yield -> interp_yield t a k
+  | Op_sleep d ->
+      (* A pure timer wait (TMCall, like a blocking receive, but with no
+         endpoints to watch): the activity blocks as idle occupancy and a
+         timer makes it ready again at the deadline.  Simulated clients
+         use this to pace request schedules without burning core time.
+         The wait token pins the timer to this wait; any other resume
+         turns a stale timer into a no-op. *)
+      if t.rmode <> M3v_mode then failwith "Runtime: sleep is M3v-only";
+      if d <= 0 then k Proc.Unit
+      else
+        charge_act t a t.core.Core_model.trap_cycles (fun () ->
+            a.st <- Blocked_recv;
+            a.wait_eps <- [];
+            a.resume <- Some (fun () -> k Proc.Unit);
+            let token = a.wait_token and aid = a.aid in
+            Engine.after t.engine ~delay:d (fun () ->
+                match Hashtbl.find_opt t.acts aid with
+                | Some a when a.wait_token = token && a.st = Blocked_recv ->
+                    make_ready t a;
+                    schedule_dispatch t
+                | Some _ | None -> ());
+            mux_instant t "sleep";
+            note_run_end t a ~why:"sleep";
+            t.current <- None;
+            schedule_dispatch t)
   | Op_send { s_ep; s_reply_ep; s_vaddr; s_size; s_data } ->
       do_send t a ~ep:s_ep ~reply_ep:s_reply_ep ~vaddr:s_vaddr ~size:s_size
         ~data:s_data ~k

@@ -235,6 +235,19 @@ let analyze sink =
     incomplete = !incomplete;
   }
 
+let segment_means r =
+  let flows = r.rpcs @ r.oneways in
+  List.filter_map
+    (fun seg ->
+      match
+        List.filter_map
+          (fun f -> Option.map float_of_int (List.assoc_opt seg f.fp_segments))
+          flows
+      with
+      | [] -> None
+      | xs -> Some (seg, Stats.mean xs))
+    rpc_segments
+
 (* --- printing --- *)
 
 let print_table fmt ~title ~segments flows =

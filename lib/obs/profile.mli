@@ -33,6 +33,12 @@ val oneway_segments : string list
 
 val analyze : Trace.sink -> report
 
+(** Mean simulated ps per segment over all complete flows (RPC and
+    one-way pooled), in {!rpc_segments} order; segments no flow carries
+    are omitted.  This is the input to the load harness' bottleneck
+    attribution. *)
+val segment_means : report -> (string * float) list
+
 (** Per-segment p50/p99/mean/share tables for RPC and one-way flows. *)
 val print : Format.formatter -> report -> unit
 

@@ -18,4 +18,5 @@ let () =
       ("par", Test_par.suite);
       ("migrate", Test_migrate.suite);
       ("obs", Test_obs.suite);
+      ("load", Test_load.suite);
     ]
