@@ -51,6 +51,20 @@ let sim_rpc_m3v () =
   in
   ignore r
 
+(* Shard count used by the sharded-scheduler benchmark below, recorded in
+   the report's config header. *)
+let bench_shards = 4
+
+(* One shard-sweep point, sequential pool: measures the scheduler's
+   window/flush machinery itself (both the shards=1 reference and the
+   sharded run, including the identity comparison), not Domain
+   parallelism — Bechamel numbers must stay single-threaded. *)
+let shard_sweep_small () =
+  ignore
+    (M3v.Exp_shard.run_point ~progress:false ~pool:M3v_par.Par.Pool.sequential
+       ~tiles:64 ~shards:bench_shards ~chains_per_tile:2 ~hops:8 ~weight:64
+       ~seed:1 ())
+
 let tests =
   [
     Test.make ~name:"table1_area" (Staged.stage table1_bench);
@@ -66,6 +80,7 @@ let tests =
     Test.make ~name:"ablation_fanin"
       (Staged.stage (fun () ->
            ignore (M3v.Exp_fanin.run ~msgs:10 ~sender_counts:[ 4; 16 ] ())));
+    Test.make ~name:"shard_sweep" (Staged.stage shard_sweep_small);
     (* Not in BENCH_baseline.json yet: the compare gate must warn-and-skip
        it, not fail. *)
     Test.make ~name:"ablation_migrate"
@@ -147,13 +162,14 @@ let iso8601_utc now =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_json path estimates =
+let write_json ?jobs path estimates =
   let report =
     Bench_io.make ~git_sha:(git_sha ())
       ~timestamp:(iso8601_utc (Unix.gettimeofday ()))
       ~ocaml_version:Sys.ocaml_version
       ~hostname:(try Unix.gethostname () with _ -> "unknown")
-      estimates
+      ~jobs:(Option.value jobs ~default:1)
+      ~shards:bench_shards estimates
   in
   let oc = open_out path in
   Fun.protect
@@ -233,6 +249,6 @@ let () =
       if not figures_only then begin
         let estimates = bechamel () in
         match find_opt "--json" with
-        | Some path -> write_json path estimates
+        | Some path -> write_json ?jobs path estimates
         | None -> ()
       end

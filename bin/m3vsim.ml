@@ -55,6 +55,14 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards =
+  let doc =
+    "Run each simulation under the conservative-window sharded scheduler \
+     with $(docv) shards.  Output is byte-identical to --shards 1 (the \
+     default, plain sequential engine)."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
+
 let rounds =
   let doc = "Measured RPC round trips." in
   Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
@@ -86,10 +94,10 @@ let fig8_cmd =
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun trace metrics faults fault_seed jobs runs ->
+    Term.(const (fun trace metrics faults fault_seed jobs shards runs ->
               M3v.Exp_runner.fig9 ?trace ?metrics ?faults ~fault_seed ?jobs
-                ~runs ())
-          $ trace $ metrics $ faults $ fault_seed $ jobs $ runs)
+                ~shards ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ shards $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
@@ -122,10 +130,10 @@ let fanin_cmd =
          "Fan-in ablation: N senders -> 1 server throughput, shared MPMC \
           receive endpoint (batched acks, coalesced doorbells) vs \
           per-sender endpoints")
-    Term.(const (fun trace metrics faults fault_seed jobs msgs senders ->
+    Term.(const (fun trace metrics faults fault_seed jobs shards msgs senders ->
               M3v.Exp_runner.fanin ?trace ?metrics ?faults ~fault_seed ?jobs
-                ~msgs ~senders ())
-          $ trace $ metrics $ faults $ fault_seed $ jobs $ fanin_msgs
+                ~shards ~msgs ~senders ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ shards $ fanin_msgs
           $ fanin_senders)
 
 let load_clients =
@@ -201,9 +209,9 @@ let load_cmd =
           latency-vs-load SLO tables (p50/p99/p999), detects the \
           saturation knee and attributes the bottleneck from the \
           critical-path profiler")
-    Term.(const (fun trace metrics faults fault_seed jobs clients drivers rate
-                     mix skew keys duration steps closed think_ms arrivals slo
-                     seed ->
+    Term.(const (fun trace metrics faults fault_seed jobs shards clients
+                     drivers rate mix skew keys duration steps closed think_ms
+                     arrivals slo seed ->
               let mix =
                 match mix with
                 | None -> M3v_load.Fleet.default_mix
@@ -233,10 +241,10 @@ let load_cmd =
                 }
               in
               M3v.Exp_runner.load ?trace ?metrics ?faults ~fault_seed ?jobs
-                ~cfg ())
-          $ trace $ metrics $ faults $ fault_seed $ jobs $ load_clients
-          $ load_drivers $ load_rate $ load_mix $ load_skew $ load_keys
-          $ load_duration $ load_steps $ load_closed $ load_think
+                ~shards ~cfg ())
+          $ trace $ metrics $ faults $ fault_seed $ jobs $ shards
+          $ load_clients $ load_drivers $ load_rate $ load_mix $ load_skew
+          $ load_keys $ load_duration $ load_steps $ load_closed $ load_think
           $ load_arrivals $ load_slo $ load_seed)
 
 let mig_rounds =
@@ -319,14 +327,59 @@ let chaos_cmd =
           crash=2,hang=1 when --faults is omitted); \
           --checkpoint-every/--resume stop and restart the soak across \
           processes with byte-identical results")
-    Term.(const (fun trace faults fault_seed jobs seeds ckpt_every ckpt_file
-                     stop_after resume rounds ops ->
-              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ?jobs ~seeds
-                ~checkpoint_every_ms:ckpt_every ~checkpoint_file:ckpt_file
-                ~stop_after ?resume ~rounds ~ops ())
-          $ trace $ faults $ fault_seed $ jobs $ chaos_seeds
+    Term.(const (fun trace faults fault_seed jobs shards seeds ckpt_every
+                     ckpt_file stop_after resume rounds ops ->
+              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ?jobs ~shards
+                ~seeds ~checkpoint_every_ms:ckpt_every
+                ~checkpoint_file:ckpt_file ~stop_after ?resume ~rounds ~ops ())
+          $ trace $ faults $ fault_seed $ jobs $ shards $ chaos_seeds
           $ chaos_ckpt_every $ chaos_ckpt_file $ chaos_stop_after
           $ chaos_resume $ chaos_rounds $ chaos_ops)
+
+let sweep_tiles =
+  let doc = "Comma-separated tile counts to sweep (defaults to 64,256)." in
+  Arg.(value & opt (list int) [] & info [ "tiles" ] ~docv:"N,..." ~doc)
+
+let sweep_shards =
+  let doc =
+    "Shard count for the sharded run of each point (clamped to the \
+     cluster count)."
+  in
+  Arg.(value & opt int 4 & info [ "shards" ] ~docv:"K" ~doc)
+
+let sweep_chains =
+  let doc = "Token chains per tile (<= 0 picks the default)." in
+  Arg.(value & opt int 0 & info [ "chains" ] ~docv:"N" ~doc)
+
+let sweep_hops =
+  let doc = "Hops per chain (<= 0 picks the default)." in
+  Arg.(value & opt int 0 & info [ "hops" ] ~docv:"N" ~doc)
+
+let sweep_weight =
+  let doc =
+    "Rounds of deterministic hash churn per served hop — the CPU weight \
+     of one event (<= 0 picks the default)."
+  in
+  Arg.(value & opt int 0 & info [ "weight" ] ~docv:"N" ~doc)
+
+let sweep_seed =
+  let doc = "Workload seed (same seed = byte-identical report)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let shard_sweep_cmd =
+  Cmd.v
+    (Cmd.info "shard-sweep"
+       ~doc:
+         "Partitioned-parallel scaling: a 64-1024-tile clustered \
+          token-chain workload under the conservative-lookahead sharded \
+          scheduler.  Every point runs sequentially and sharded, asserts \
+          identical results on stdout, and reports wall-clock speedup on \
+          stderr")
+    Term.(const (fun jobs shards seed chains hops weight tiles ->
+              M3v.Exp_runner.shard_sweep ?jobs ~shards ~seed ~chains ~hops
+                ~weight ~tiles ())
+          $ jobs $ sweep_shards $ sweep_seed $ sweep_chains $ sweep_hops
+          $ sweep_weight $ sweep_tiles)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
@@ -415,6 +468,7 @@ let () =
             ablations_cmd;
             fanin_cmd;
             load_cmd;
+            shard_sweep_cmd;
             profile_cmd;
             all_cmd;
           ]))

@@ -15,10 +15,10 @@ let () =
   List.iter
     (fun tiles ->
       let m3v =
-        M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles ~runs:2 ~warmup:1
+        M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles ~runs:2 ~warmup:1 ()
       in
       let m3x =
-        M3v.Exp_fig9.throughput ~variant:System.M3x ~trace ~tiles ~runs:2 ~warmup:1
+        M3v.Exp_fig9.throughput ~variant:System.M3x ~trace ~tiles ~runs:2 ~warmup:1 ()
       in
       Format.printf "  %-6d %12.1f %12.1f %8.1fx@." tiles m3v m3x (m3v /. m3x))
     [ 1; 2; 4 ];

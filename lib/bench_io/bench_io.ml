@@ -6,19 +6,24 @@ type report = {
   timestamp : string;
   ocaml_version : string;
   hostname : string;
+  jobs : int;
+  shards : int;
   results : result list;
 }
 
-let schema_version = 1
+let schema_version = 2
 
 let make ?(git_sha = "unknown") ?(timestamp = "unknown")
-    ?(ocaml_version = Sys.ocaml_version) ?(hostname = "unknown") results =
+    ?(ocaml_version = Sys.ocaml_version) ?(hostname = "unknown") ?(jobs = 1)
+    ?(shards = 1) results =
   {
     schema_version;
     git_sha;
     timestamp;
     ocaml_version;
     hostname;
+    jobs;
+    shards;
     results = List.map (fun (name, ns_per_run) -> { name; ns_per_run }) results;
   }
 
@@ -34,6 +39,8 @@ let to_json r =
   Buffer.add_string buf
     (Printf.sprintf "  \"ocaml_version\": %S,\n" r.ocaml_version);
   Buffer.add_string buf (Printf.sprintf "  \"hostname\": %S,\n" r.hostname);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" r.jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"shards\": %d,\n" r.shards);
   Buffer.add_string buf "  \"benchmarks\": [\n";
   let n = List.length r.results in
   List.iteri
@@ -259,6 +266,10 @@ let of_json text =
                   timestamp = str "timestamp" "unknown";
                   ocaml_version = str "ocaml_version" "unknown";
                   hostname = str "hostname" "unknown";
+                  (* jobs/shards arrived with schema 2; version-1 reports
+                     were always sequential and unsharded. *)
+                  jobs = int "jobs" 1;
+                  shards = int "shards" 1;
                   results;
                 })
       | Some _ -> Error "\"benchmarks\" is not an array"
@@ -329,10 +340,17 @@ let pp_comparison ~threshold_pct ~baseline ~current ff cmp =
     | Some ns -> Format.fprintf ff "%14.0f" ns
     | None -> Format.fprintf ff "%14s" "-"
   in
-  Format.fprintf ff "baseline: %s (%s, %s)@." baseline.git_sha
-    baseline.timestamp baseline.hostname;
-  Format.fprintf ff "current:  %s (%s, %s)@." current.git_sha current.timestamp
-    current.hostname;
+  let pp_meta ff r =
+    Format.fprintf ff "%s (%s, %s, jobs=%d, shards=%d)" r.git_sha r.timestamp
+      r.hostname r.jobs r.shards
+  in
+  Format.fprintf ff "baseline: %a@." pp_meta baseline;
+  Format.fprintf ff "current:  %a@." pp_meta current;
+  if baseline.jobs <> current.jobs || baseline.shards <> current.shards then
+    Format.fprintf ff
+      "  warning: config mismatch (baseline jobs=%d shards=%d, current jobs=%d \
+       shards=%d) — deltas compare different parallel configurations@."
+      baseline.jobs baseline.shards current.jobs current.shards;
   Format.fprintf ff "@.  %-18s %14s %14s %9s@." "benchmark" "base ns/run"
     "cur ns/run" "delta";
   List.iter

@@ -18,6 +18,12 @@ type report = {
   timestamp : string;  (** ISO-8601 UTC, e.g. ["2026-08-07T12:00:00Z"] *)
   ocaml_version : string;
   hostname : string;
+  jobs : int;
+      (** Domain-pool size the bench ran with (schema >= 2; version-1
+          reports parse as [1]) *)
+  shards : int;
+      (** shard count used by the sharded-scheduler benchmarks
+          (schema >= 2; version-1 reports parse as [1]) *)
   results : result list;
 }
 
@@ -49,6 +55,8 @@ val make :
   ?timestamp:string ->
   ?ocaml_version:string ->
   ?hostname:string ->
+  ?jobs:int ->
+  ?shards:int ->
   (string * float option) list ->
   report
 

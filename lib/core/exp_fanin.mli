@@ -21,6 +21,7 @@ type result = { msgs_per_sender : int; points : point list }
 
 val run :
   ?pool:M3v_par.Par.Pool.t ->
+  ?shards:int ->
   ?msgs:int ->
   ?sender_counts:int list ->
   unit ->
@@ -29,4 +30,4 @@ val run :
 val print : result -> unit
 
 (** Throughput of one configuration (exposed for tests/calibration). *)
-val throughput : mode:mode -> senders:int -> msgs:int -> float
+val throughput : ?shards:int -> mode:mode -> senders:int -> msgs:int -> unit -> float

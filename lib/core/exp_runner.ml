@@ -105,12 +105,14 @@ let fig8 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
               with_metrics metrics (fun () ->
                   Exp_fig8.print (Exp_fig8.run ~pool ?runs:(opt runs) ())))))
 
-let fig9 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
+let fig9 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
               with_metrics metrics (fun () ->
-                  Exp_fig9.print (Exp_fig9.run ~pool ?runs:(opt runs) ())))))
+                  Exp_fig9.print
+                    (Exp_fig9.run ~pool ?shards:(Option.bind shards opt)
+                       ?runs:(opt runs) ())))))
 
 let fig10 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
@@ -126,7 +128,8 @@ let voice ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
               with_metrics metrics (fun () ->
                   Exp_voice.print (Exp_voice.run ~pool ?runs:(opt runs) ())))))
 
-let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~msgs ~senders () =
+let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~msgs
+    ~senders () =
   let sender_counts =
     match senders with [] -> None | counts -> Some counts
   in
@@ -135,14 +138,17 @@ let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~msgs ~senders () =
           with_trace trace (fun () ->
               with_metrics metrics (fun () ->
                   Exp_fanin.print
-                    (Exp_fanin.run ~pool ?msgs:(opt msgs) ?sender_counts ())))))
+                    (Exp_fanin.run ~pool ?shards:(Option.bind shards opt)
+                       ?msgs:(opt msgs) ?sender_counts ())))))
 
-let load ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~cfg () =
+let load ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~cfg () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
       with_faults ?faults ~fault_seed (fun () ->
           with_trace trace (fun () ->
               with_metrics metrics (fun () ->
-                  Exp_load.print (Exp_load.run ~pool ~cfg ())))))
+                  Exp_load.print
+                    (Exp_load.run ~pool ?shards:(Option.bind shards opt) ~cfg
+                       ())))))
 
 (* Both halves of the ablation in one report: the clean sweep, then the
    same sweep under a [mig_abort] fault plan (installed per task inside
@@ -170,10 +176,11 @@ let chaos_outcome = function
       Format.eprintf "chaos: suspended after %d checkpoint(s) -> %s@."
         checkpoints file
 
-let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?(seeds = 1)
+let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?shards ?(seeds = 1)
     ?checkpoint_every_ms ?(checkpoint_file = "chaos.ckpt") ?stop_after ?resume
     ~rounds ~ops () =
   let spec = Option.map parse_faults faults in
+  let shards = Option.bind shards opt in
   let every_ms = Option.bind checkpoint_every_ms (fun n -> opt n) in
   match (resume, every_ms) with
   | Some file, _ -> (
@@ -197,16 +204,27 @@ let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?(seeds = 1)
         exit 2
       end;
       chaos_outcome
-        (Exp_chaos.run_checkpointed ?spec ~seed:fault_seed
+        (Exp_chaos.run_checkpointed ?shards ?spec ~seed:fault_seed
            ?fs_rounds:(opt rounds) ?kv_ops:(opt ops)
            ~every:(M3v_sim.Time.ms ms) ~file:checkpoint_file
            ?stop_after:(Option.bind stop_after opt) ())
   | None, None ->
       with_pool ?jobs ~sequential:(Option.is_some trace) (fun pool ->
           with_trace trace (fun () ->
-              Exp_chaos.run_sweep ~pool ?spec ~seed:fault_seed ~seeds
+              Exp_chaos.run_sweep ~pool ?shards ?spec ~seed:fault_seed ~seeds
                 ?fs_rounds:(opt rounds) ?kv_ops:(opt ops) ()
               |> List.iter Exp_chaos.print))
+
+(* The shard sweep is never forced sequential: tracing/faulting make the
+   scheduler fall back to inline windows on its own, and the whole point
+   of the command is to exercise parallel windows. *)
+let shard_sweep ?jobs ?(shards = 4) ?(seed = 1) ~chains ~hops ~weight ~tiles ()
+    =
+  let tile_counts = match tiles with [] -> None | l -> Some l in
+  with_pool ?jobs ~sequential:false (fun pool ->
+      Exp_shard.print
+        (Exp_shard.run ~pool ~shards ?chains_per_tile:(opt chains)
+           ?hops:(opt hops) ?weight:(opt weight) ~seed ?tile_counts ()))
 
 let table1 ?trace () =
   with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))

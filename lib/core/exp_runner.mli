@@ -26,7 +26,12 @@
     When [?faults] names a {!M3v_fault.Fault.parse}-able spec (e.g.
     ["drop=0.01,dup=0.005,crash=2"]), the experiment runs under a
     deterministic fault plan seeded with [fault_seed] and the injection
-    tally is printed at the end. *)
+    tally is printed at the end.
+
+    When [?shards] (> 0) is given on the experiments that support it, each
+    point's System runs under the conservative-window sharded scheduler
+    ({!System.create}); output is byte-identical to [shards:1] (asserted
+    in tests and CI).  [shards <= 0] means "default" (unsharded). *)
 
 val fig6 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
@@ -42,7 +47,7 @@ val fig8 :
 
 val fig9 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
-  ?jobs:int -> runs:int -> unit -> unit
+  ?jobs:int -> ?shards:int -> runs:int -> unit -> unit
 
 val fig10 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
@@ -58,7 +63,7 @@ val voice :
     picks the default sweep (4, 16, 64). *)
 val fanin :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
-  ?jobs:int -> msgs:int -> senders:int list -> unit -> unit
+  ?jobs:int -> ?shards:int -> msgs:int -> senders:int list -> unit -> unit
 
 (** Load harness ({!Exp_load}): client fleets at swept offered load over
     net + m3fs + the key-value service, with SLO tables, knee detection
@@ -66,7 +71,7 @@ val fanin :
     byte-identical across [--jobs] settings. *)
 val load :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
-  ?jobs:int -> cfg:Exp_load.config -> unit -> unit
+  ?jobs:int -> ?shards:int -> cfg:Exp_load.config -> unit -> unit
 
 (** Live-migration ablation ({!Exp_migrate}): downtime and exactly-once
     delivery vs message rate, swept clean and under a [mig_abort] fault
@@ -91,8 +96,19 @@ val migrate :
     with [trace]. *)
 val chaos :
   ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  ?seeds:int -> ?checkpoint_every_ms:int -> ?checkpoint_file:string ->
-  ?stop_after:int -> ?resume:string -> rounds:int -> ops:int -> unit -> unit
+  ?shards:int -> ?seeds:int -> ?checkpoint_every_ms:int ->
+  ?checkpoint_file:string -> ?stop_after:int -> ?resume:string ->
+  rounds:int -> ops:int -> unit -> unit
+
+(** Shard sweep ({!Exp_shard}): partitioned-parallel scaling of a
+    64-1024-tile clustered token-chain workload under the
+    conservative-lookahead scheduler.  Every point runs sequentially and
+    sharded and asserts identical results; wall-clock speedup goes to
+    stderr.  [chains]/[hops]/[weight] <= 0 and [tiles = []] pick the
+    defaults. *)
+val shard_sweep :
+  ?jobs:int -> ?shards:int -> ?seed:int -> chains:int -> hops:int ->
+  weight:int -> tiles:int list -> unit -> unit
 
 val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit

@@ -1,0 +1,63 @@
+(** Partitioned-parallel scaling experiment: a 64-1024-tile clustered
+    token-chain workload on the conservative-lookahead sharded scheduler
+    ({!M3v_par.Shard}).
+
+    Tiles form clusters of 16 (islands of a hierarchical NoC: 25 ns
+    intra-cluster, 72.5 ns inter-cluster); shards are contiguous blocks of
+    whole clusters, so every cross-shard message is inter-cluster and the
+    scheduler's lookahead is the full inter-cluster minimum latency.
+
+    Every point runs {e twice} — shards = 1 sequentially, then shards = K
+    on the pool — and compares makespan, checksum and event count, so the
+    printed report itself asserts the partitioning changed nothing.
+    Stdout is byte-identical across shard and job counts; wall-clock
+    timings and scheduler counters go to stderr via
+    {!M3v_par.Par.progress}. *)
+
+type point = {
+  p_tiles : int;
+  p_clusters : int;
+  p_shards : int;  (** effective shard count (clamped to cluster count) *)
+  p_chains : int;
+  p_hops : int;
+  p_events : int;
+  p_makespan : M3v_sim.Time.t;
+  p_checksum : int;
+  p_match : bool;  (** sharded run identical to sequential run *)
+  p_wall_seq : float;  (** wall seconds, sequential reference run *)
+  p_wall_par : float;  (** wall seconds, sharded run on the pool *)
+}
+
+type result = { points : point list; jobs : int }
+
+(** [run ~pool ~shards ~tile_counts ()] sweeps the tile counts.
+    [chains_per_tile] (default 4) and [hops] (default 32) size the
+    workload; [weight] (default 512) is the rounds of deterministic hash
+    churn per served hop — the CPU weight of one event. *)
+val run :
+  ?pool:M3v_par.Par.Pool.t ->
+  ?shards:int ->
+  ?chains_per_tile:int ->
+  ?hops:int ->
+  ?weight:int ->
+  ?seed:int ->
+  ?tile_counts:int list ->
+  unit ->
+  result
+
+(** One sweep point (exposed for tests and the bench harness).
+    [progress] (default [true]) prints the wall-clock/speedup line to
+    stderr; benchmarks that call this in a hot loop pass [false]. *)
+val run_point :
+  ?progress:bool ->
+  pool:M3v_par.Par.Pool.t ->
+  tiles:int ->
+  shards:int ->
+  chains_per_tile:int ->
+  hops:int ->
+  weight:int ->
+  seed:int ->
+  unit ->
+  point
+
+val print : result -> unit

@@ -62,23 +62,27 @@ let after_apply (type a) t ~delay (k : a -> unit) (x : a) =
     (Obj.repr x)
 
 let run ?until ?max_events t =
-  let count = ref 0 in
-  let continue () =
-    match max_events with None -> true | Some m -> !count < m
-  in
+  (* Single-source bookkeeping: the per-call count is the delta of the
+     lifetime [processed] counter, not a second counter incremented in
+     parallel.  A handler or observer that enqueues more work during the
+     call — including at exactly [until], which this same call then
+     processes — cannot make the return value and [events_processed]
+     disagree, and a reentrant [run] from a handler is charged to the
+     outer call's budget exactly once. *)
+  let start = t.processed in
+  let budget = match max_events with None -> max_int | Some m -> max 0 m in
   let in_horizon time =
     match until with None -> true | Some u -> time <= u
   in
   let q = t.queue in
   let rec loop () =
-    if continue () && not (Event_queue.is_empty q) then begin
+    if t.processed - start < budget && not (Event_queue.is_empty q) then begin
       let time = Event_queue.next_time q in
       if in_horizon time then begin
         let fn = Event_queue.top_fst q and arg = Event_queue.top_snd q in
         Event_queue.drop_min q;
         t.now <- time;
         fn arg;
-        incr count;
         t.processed <- t.processed + 1;
         (match t.observer with
         | Some obs when t.processed land (observer_interval - 1) = 0 ->
@@ -91,19 +95,22 @@ let run ?until ?max_events t =
   loop ();
   (* Advance the clock to the horizon only when every remaining event lies
      beyond it.  In particular, when [max_events] stops the loop with
-     events still pending before [until], the clock must stay at the last
-     processed event — jumping to the horizon would date those events in
-     the past. *)
+     events still pending before [until] — e.g. one an observer enqueued
+     at exactly [until] after the budget ran out — the clock must stay at
+     the last processed event: jumping to the horizon would date those
+     events in the past. *)
   (match until with
   | Some u
     when u > t.now && (Event_queue.is_empty q || Event_queue.next_time q > u)
     ->
       t.now <- u
   | _ -> ());
-  !count
+  t.processed - start
 
 let events_processed t = t.processed
 let pending t = Event_queue.length t.queue
+let next_event_time t = Event_queue.peek_time t.queue
+let pending_below t ~time = Event_queue.occupancy_below t.queue ~time
 
 let reset t =
   t.now <- Time.zero;

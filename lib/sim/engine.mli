@@ -29,7 +29,10 @@ val at_apply : t -> time:Time.t -> ('a -> unit) -> 'a -> unit
 val after_apply : t -> delay:Time.t -> ('a -> unit) -> 'a -> unit
 
 (** Run until the event queue drains or [until] is reached.  Returns the
-    number of events processed.
+    number of events processed, defined as the delta of
+    {!events_processed} over the call — a single source of truth, so work
+    enqueued mid-call (e.g. by an observer at exactly [until]) is counted
+    exactly once whether this call or a later one processes it.
 
     The clock advances to [until] only when no pending event remains at or
     before it — if [max_events] stops the loop with such events pending,
@@ -41,6 +44,14 @@ val events_processed : t -> int
 
 (** Number of events still pending. *)
 val pending : t -> int
+
+(** Timestamp of the earliest pending event ([None] when drained) — a
+    shard's horizon advertisement for conservative synchronization. *)
+val next_event_time : t -> Time.t option
+
+(** Pending events with timestamp [<= time]: the work available inside a
+    synchronization window (see {!Event_queue.occupancy_below}). *)
+val pending_below : t -> time:Time.t -> int
 
 (** Reset the clock to zero and drop pending events. *)
 val reset : t -> unit

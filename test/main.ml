@@ -19,4 +19,5 @@ let () =
       ("migrate", Test_migrate.suite);
       ("obs", Test_obs.suite);
       ("load", Test_load.suite);
+      ("shard", Test_shard.suite);
     ]

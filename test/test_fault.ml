@@ -344,7 +344,7 @@ let test_fanin_rerun_identical_under_faults () =
         { Fault.none with drop = 0.02; dup = 0.01; delay = 0.02 }
     in
     Fault.with_plan plan (fun () ->
-        M3v.Exp_fanin.throughput ~mode:M3v.Exp_fanin.Mpmc ~senders:4 ~msgs:5)
+        M3v.Exp_fanin.throughput ~mode:M3v.Exp_fanin.Mpmc ~senders:4 ~msgs:5 ())
   in
   let r1 = run () in
   check_bool "fan-in made progress under faults" true (r1 > 0.0);

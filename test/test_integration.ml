@@ -227,13 +227,13 @@ let test_accel_chain () =
 let test_fig9_shape_smoke () =
   let trace = M3v_apps.Trace.find_trace ~dirs:2 ~files_per_dir:6 () in
   let m3v1 =
-    M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles:1 ~runs:2 ~warmup:1
+    M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles:1 ~runs:2 ~warmup:1 ()
   in
   let m3v2 =
-    M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles:2 ~runs:2 ~warmup:1
+    M3v.Exp_fig9.throughput ~variant:System.M3v ~trace ~tiles:2 ~runs:2 ~warmup:1 ()
   in
   let m3x1 =
-    M3v.Exp_fig9.throughput ~variant:System.M3x ~trace ~tiles:1 ~runs:2 ~warmup:1
+    M3v.Exp_fig9.throughput ~variant:System.M3x ~trace ~tiles:1 ~runs:2 ~warmup:1 ()
   in
   check_bool "M3v beats M3x at one tile" true (m3v1 > 1.5 *. m3x1);
   check_bool "M3v scales with tiles" true (m3v2 > 1.7 *. m3v1)
