@@ -65,6 +65,16 @@ let shard_sweep_small () =
        ~tiles:64 ~shards:bench_shards ~chains_per_tile:2 ~hops:8 ~weight:64
        ~seed:1 ())
 
+(* Same point with per-window telemetry enabled on the sharded run: the
+   delta against shard_sweep prices the recording overhead (window
+   records, limiter attribution, imbalance histogram), gated in CI via
+   the committed baseline. *)
+let shard_telemetry_small () =
+  ignore
+    (M3v.Exp_shard.run_point ~progress:false ~telemetry:true
+       ~pool:M3v_par.Par.Pool.sequential ~tiles:64 ~shards:bench_shards
+       ~chains_per_tile:2 ~hops:8 ~weight:64 ~seed:1 ())
+
 let tests =
   [
     Test.make ~name:"table1_area" (Staged.stage table1_bench);
@@ -81,6 +91,7 @@ let tests =
       (Staged.stage (fun () ->
            ignore (M3v.Exp_fanin.run ~msgs:10 ~sender_counts:[ 4; 16 ] ())));
     Test.make ~name:"shard_sweep" (Staged.stage shard_sweep_small);
+    Test.make ~name:"shard_telemetry" (Staged.stage shard_telemetry_small);
     (* Not in BENCH_baseline.json yet: the compare gate must warn-and-skip
        it, not fail. *)
     Test.make ~name:"ablation_migrate"

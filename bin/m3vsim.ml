@@ -63,6 +63,16 @@ let shards =
   in
   Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
 
+let telemetry =
+  let doc =
+    "Record per-window shard telemetry (per-shard events, limiter \
+     attribution, imbalance, critical-path speedup bound) on every \
+     multi-shard group and print the analyzer report to stderr when the \
+     run ends.  Pure observer: stdout is byte-identical with or without \
+     this flag.  See also the shard-report subcommand."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
 let rounds =
   let doc = "Measured RPC round trips." in
   Arg.(value & opt int 1000 & info [ "rounds" ] ~doc)
@@ -94,10 +104,11 @@ let fig8_cmd =
 
 let fig9_cmd =
   Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: scalability of tile multiplexing (M3x vs M3v)")
-    Term.(const (fun trace metrics faults fault_seed jobs shards runs ->
-              M3v.Exp_runner.fig9 ?trace ?metrics ?faults ~fault_seed ?jobs
-                ~shards ~runs ())
-          $ trace $ metrics $ faults $ fault_seed $ jobs $ shards $ runs)
+    Term.(const (fun trace metrics faults fault_seed telemetry jobs shards runs ->
+              M3v.Exp_runner.fig9 ?trace ?metrics ?faults ~fault_seed ~telemetry
+                ?jobs ~shards ~runs ())
+          $ trace $ metrics $ faults $ fault_seed $ telemetry $ jobs $ shards
+          $ runs)
 
 let fig10_cmd =
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: cloud service (YCSB) vs Linux")
@@ -209,9 +220,9 @@ let load_cmd =
           latency-vs-load SLO tables (p50/p99/p999), detects the \
           saturation knee and attributes the bottleneck from the \
           critical-path profiler")
-    Term.(const (fun trace metrics faults fault_seed jobs shards clients
-                     drivers rate mix skew keys duration steps closed think_ms
-                     arrivals slo seed ->
+    Term.(const (fun trace metrics faults fault_seed telemetry jobs shards
+                     clients drivers rate mix skew keys duration steps closed
+                     think_ms arrivals slo seed ->
               let mix =
                 match mix with
                 | None -> M3v_load.Fleet.default_mix
@@ -240,9 +251,9 @@ let load_cmd =
                   seed;
                 }
               in
-              M3v.Exp_runner.load ?trace ?metrics ?faults ~fault_seed ?jobs
-                ~shards ~cfg ())
-          $ trace $ metrics $ faults $ fault_seed $ jobs $ shards
+              M3v.Exp_runner.load ?trace ?metrics ?faults ~fault_seed
+                ~telemetry ?jobs ~shards ~cfg ())
+          $ trace $ metrics $ faults $ fault_seed $ telemetry $ jobs $ shards
           $ load_clients $ load_drivers $ load_rate $ load_mix $ load_skew
           $ load_keys $ load_duration $ load_steps $ load_closed $ load_think
           $ load_arrivals $ load_slo $ load_seed)
@@ -327,13 +338,13 @@ let chaos_cmd =
           crash=2,hang=1 when --faults is omitted); \
           --checkpoint-every/--resume stop and restart the soak across \
           processes with byte-identical results")
-    Term.(const (fun trace faults fault_seed jobs shards seeds ckpt_every
-                     ckpt_file stop_after resume rounds ops ->
-              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ?jobs ~shards
-                ~seeds ~checkpoint_every_ms:ckpt_every
+    Term.(const (fun trace faults fault_seed telemetry jobs shards seeds
+                     ckpt_every ckpt_file stop_after resume rounds ops ->
+              M3v.Exp_runner.chaos ?trace ?faults ~fault_seed ~telemetry ?jobs
+                ~shards ~seeds ~checkpoint_every_ms:ckpt_every
                 ~checkpoint_file:ckpt_file ~stop_after ?resume ~rounds ~ops ())
-          $ trace $ faults $ fault_seed $ jobs $ shards $ chaos_seeds
-          $ chaos_ckpt_every $ chaos_ckpt_file $ chaos_stop_after
+          $ trace $ faults $ fault_seed $ telemetry $ jobs $ shards
+          $ chaos_seeds $ chaos_ckpt_every $ chaos_ckpt_file $ chaos_stop_after
           $ chaos_resume $ chaos_rounds $ chaos_ops)
 
 let sweep_tiles =
@@ -375,11 +386,40 @@ let shard_sweep_cmd =
           scheduler.  Every point runs sequentially and sharded, asserts \
           identical results on stdout, and reports wall-clock speedup on \
           stderr")
-    Term.(const (fun jobs shards seed chains hops weight tiles ->
-              M3v.Exp_runner.shard_sweep ?jobs ~shards ~seed ~chains ~hops
-                ~weight ~tiles ())
-          $ jobs $ sweep_shards $ sweep_seed $ sweep_chains $ sweep_hops
-          $ sweep_weight $ sweep_tiles)
+    Term.(const (fun trace metrics telemetry jobs shards seed chains hops
+                     weight tiles ->
+              M3v.Exp_runner.shard_sweep ?trace ?metrics ~telemetry ?jobs
+                ~shards ~seed ~chains ~hops ~weight ~tiles ())
+          $ trace $ metrics $ telemetry $ jobs $ sweep_shards $ sweep_seed
+          $ sweep_chains $ sweep_hops $ sweep_weight $ sweep_tiles)
+
+let report_tiles =
+  let doc = "Tile count of the analyzed run (<= 0 picks the default 256)." in
+  Arg.(value & opt int 0 & info [ "tiles" ] ~docv:"N" ~doc)
+
+let report_lanes =
+  let doc =
+    "Write per-shard Chrome trace lanes (one pid per shard: window spans \
+     and barrier gaps on wall-clock axes) to $(docv) — viewable in \
+     chrome://tracing or Perfetto.  This is the telemetry timeline, not \
+     a simulation trace."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let shard_report_cmd =
+  Cmd.v
+    (Cmd.info "shard-report"
+       ~doc:
+         "Analyze one sharded run with per-window telemetry: per-shard \
+          imbalance, limiter attribution (which shard's horizon bounded \
+          each window), null-message and merge counts, and a \
+          critical-path speedup bound — the data to aim partitioning and \
+          work-stealing work at")
+    Term.(const (fun lanes jobs shards seed tiles chains hops weight ->
+              M3v.Exp_runner.shard_report ?jobs ~shards ~seed ?trace:lanes
+                ~tiles ~chains ~hops ~weight ())
+          $ report_lanes $ jobs $ sweep_shards $ sweep_seed $ report_tiles
+          $ sweep_chains $ sweep_hops $ sweep_weight)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Table 1: FPGA area consumption")
@@ -469,6 +509,7 @@ let () =
             fanin_cmd;
             load_cmd;
             shard_sweep_cmd;
+            shard_report_cmd;
             profile_cmd;
             all_cmd;
           ]))

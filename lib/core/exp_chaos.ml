@@ -335,6 +335,11 @@ let resume ~file ?stop_after () =
          carries the original's RNG position, so the fault schedule
          continues exactly where the save left it). *)
       Msg.set_uid_counter st.ck_msg_uid;
+      (* An unmarshaled shard group never met the telemetry collector;
+         re-announce it so a resumed soak keeps reporting under
+         --telemetry.  The telemetry state itself (window aggregates)
+         rode along in the checkpoint. *)
+      System.reregister_telemetry st.ck_sys;
       Ok (Fault.with_plan st.ck_plan (fun () -> drive st ~stop_after))
 
 (* Multi-seed soak sweep.  Each seed is an independent task: [run]

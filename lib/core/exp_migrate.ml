@@ -132,14 +132,28 @@ let one_point ~rate ~rounds () =
   ignore (System.run ~until:horizon sys);
   let cstats = Controller.stats ctrl in
   let attempts = cstats.Controller.migrations + cstats.Controller.mig_aborts in
+  let downtime_us =
+    if attempts = 0 then 0.0
+    else Time.to_us cstats.Controller.mig_downtime_ps /. float_of_int attempts
+  in
+  (* Standing migrate/* instruments, one category per sweep point.  They
+     record inside this task's registry shard (points fan out over the
+     pool), so --metrics output stays byte-identical across --jobs. *)
+  if M3v_obs.Metrics.on () then begin
+    let cat = Printf.sprintf "rate=%d" rate in
+    let c name v = M3v_obs.Metrics.counter_add ~name ~cat (float_of_int v) in
+    c "migrate/migrations" cstats.Controller.migrations;
+    c "migrate/aborts" cstats.Controller.mig_aborts;
+    c "migrate/replies" !replies;
+    c "migrate/served" !served;
+    c "migrate/mismatches" !mismatches;
+    M3v_obs.Metrics.observe ~name:"migrate/downtime_us" ~cat downtime_us
+  end;
   {
     rate;
     migrations = cstats.Controller.migrations;
     aborts = cstats.Controller.mig_aborts;
-    downtime_us =
-      (if attempts = 0 then 0.0
-       else
-         Time.to_us cstats.Controller.mig_downtime_ps /. float_of_int attempts);
+    downtime_us;
     replies = !replies;
     served = !served;
     mismatches = !mismatches;

@@ -82,6 +82,24 @@ let with_metrics metrics f =
       Format.printf "@.metrics -> %s@." path;
       M3v_obs.Metrics.print Format.std_formatter reg
 
+(* --telemetry: open a collection window around the run — every
+   multi-shard group created inside registers itself — and print the
+   merged per-K analyzer reports when it closes.  The report goes to
+   stderr, deliberately: telemetry tables vary with the shard count and
+   carry wall-clock times, while the experiment stream on stdout must
+   stay byte-identical with telemetry on or off and across shards/jobs
+   (asserted by tests and the CI diff). *)
+let with_telemetry telemetry f =
+  if not telemetry then f ()
+  else begin
+    M3v_par.Telemetry.start_collecting ();
+    Fun.protect
+      ~finally:(fun () ->
+        M3v_par.Telemetry.pp_groups Format.err_formatter
+          (M3v_par.Telemetry.stop_collecting ()))
+      f
+  end
+
 let needs_seq ~trace ~faults = Option.is_some trace || Option.is_some faults
 
 let fig6 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~rounds () =
@@ -105,14 +123,16 @@ let fig8 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
               with_metrics metrics (fun () ->
                   Exp_fig8.print (Exp_fig8.run ~pool ?runs:(opt runs) ())))))
 
-let fig9 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~runs () =
-  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
-      with_faults ?faults ~fault_seed (fun () ->
-          with_trace trace (fun () ->
-              with_metrics metrics (fun () ->
-                  Exp_fig9.print
-                    (Exp_fig9.run ~pool ?shards:(Option.bind shards opt)
-                       ?runs:(opt runs) ())))))
+let fig9 ?trace ?metrics ?faults ?(fault_seed = 1) ?(telemetry = false) ?jobs
+    ?shards ~runs () =
+  with_telemetry telemetry (fun () ->
+      with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+          with_faults ?faults ~fault_seed (fun () ->
+              with_trace trace (fun () ->
+                  with_metrics metrics (fun () ->
+                      Exp_fig9.print
+                        (Exp_fig9.run ~pool ?shards:(Option.bind shards opt)
+                           ?runs:(opt runs) ()))))))
 
 let fig10 ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ~runs () =
   with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
@@ -141,14 +161,16 @@ let fanin ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~msgs
                     (Exp_fanin.run ~pool ?shards:(Option.bind shards opt)
                        ?msgs:(opt msgs) ?sender_counts ())))))
 
-let load ?trace ?metrics ?faults ?(fault_seed = 1) ?jobs ?shards ~cfg () =
-  with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
-      with_faults ?faults ~fault_seed (fun () ->
-          with_trace trace (fun () ->
-              with_metrics metrics (fun () ->
-                  Exp_load.print
-                    (Exp_load.run ~pool ?shards:(Option.bind shards opt) ~cfg
-                       ())))))
+let load ?trace ?metrics ?faults ?(fault_seed = 1) ?(telemetry = false) ?jobs
+    ?shards ~cfg () =
+  with_telemetry telemetry (fun () ->
+      with_pool ?jobs ~sequential:(needs_seq ~trace ~faults) (fun pool ->
+          with_faults ?faults ~fault_seed (fun () ->
+              with_trace trace (fun () ->
+                  with_metrics metrics (fun () ->
+                      Exp_load.print
+                        (Exp_load.run ~pool ?shards:(Option.bind shards opt)
+                           ~cfg ()))))))
 
 (* Both halves of the ablation in one report: the clean sweep, then the
    same sweep under a [mig_abort] fault plan (installed per task inside
@@ -176,12 +198,13 @@ let chaos_outcome = function
       Format.eprintf "chaos: suspended after %d checkpoint(s) -> %s@."
         checkpoints file
 
-let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?shards ?(seeds = 1)
-    ?checkpoint_every_ms ?(checkpoint_file = "chaos.ckpt") ?stop_after ?resume
-    ~rounds ~ops () =
+let chaos ?trace ?faults ?(fault_seed = 7) ?(telemetry = false) ?jobs ?shards
+    ?(seeds = 1) ?checkpoint_every_ms ?(checkpoint_file = "chaos.ckpt")
+    ?stop_after ?resume ~rounds ~ops () =
   let spec = Option.map parse_faults faults in
   let shards = Option.bind shards opt in
   let every_ms = Option.bind checkpoint_every_ms (fun n -> opt n) in
+  with_telemetry telemetry @@ fun () ->
   match (resume, every_ms) with
   | Some file, _ -> (
       match Exp_chaos.resume ~file ?stop_after:(Option.bind stop_after opt) () with
@@ -215,16 +238,41 @@ let chaos ?trace ?faults ?(fault_seed = 7) ?jobs ?shards ?(seeds = 1)
                 ?fs_rounds:(opt rounds) ?kv_ops:(opt ops) ()
               |> List.iter Exp_chaos.print))
 
-(* The shard sweep is never forced sequential: tracing/faulting make the
-   scheduler fall back to inline windows on its own, and the whole point
-   of the command is to exercise parallel windows. *)
-let shard_sweep ?jobs ?(shards = 4) ?(seed = 1) ~chains ~hops ~weight ~tiles ()
-    =
+(* The shard sweep is never forced sequential: the sweep itself runs
+   points on the calling domain (only window dispatch uses the pool),
+   and under a trace sink the scheduler falls back to inline windows on
+   its own — so unlike the System experiments, --trace here needs no
+   sequential-pool downgrade. *)
+let shard_sweep ?trace ?metrics ?(telemetry = false) ?jobs ?(shards = 4)
+    ?(seed = 1) ~chains ~hops ~weight ~tiles () =
   let tile_counts = match tiles with [] -> None | l -> Some l in
+  with_telemetry telemetry (fun () ->
+      with_pool ?jobs ~sequential:false (fun pool ->
+          with_trace trace (fun () ->
+              with_metrics metrics (fun () ->
+                  Exp_shard.print
+                    (Exp_shard.run ~pool ~shards ?chains_per_tile:(opt chains)
+                       ?hops:(opt hops) ?weight:(opt weight) ~seed ?tile_counts
+                       ())))))
+
+(* shard-report: one sharded run with telemetry always on; the analyzer
+   tables are the subcommand's stdout deliverable.  [trace] dumps the
+   per-shard Chrome lanes (window spans and barrier gaps on wall-clock
+   axes), not a simulation trace. *)
+let shard_report ?jobs ?(shards = 4) ?(seed = 1) ?trace ~tiles ~chains ~hops
+    ~weight () =
   with_pool ?jobs ~sequential:false (fun pool ->
-      Exp_shard.print
-        (Exp_shard.run ~pool ~shards ?chains_per_tile:(opt chains)
-           ?hops:(opt hops) ?weight:(opt weight) ~seed ?tile_counts ()))
+      let r =
+        Exp_shard.report ~pool ?tiles:(opt tiles) ~shards
+          ?chains_per_tile:(opt chains) ?hops:(opt hops) ?weight:(opt weight)
+          ~seed ()
+      in
+      Exp_shard.print_report r;
+      match trace with
+      | None -> ()
+      | Some path ->
+          M3v_par.Telemetry.write_chrome path r.Exp_shard.rep_telemetry;
+          Format.printf "@.shard lanes -> %s@." path)
 
 let table1 ?trace () =
   with_trace trace (fun () -> Exp_table1.print (Exp_table1.run ()))

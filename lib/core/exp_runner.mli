@@ -31,7 +31,15 @@
     When [?shards] (> 0) is given on the experiments that support it, each
     point's System runs under the conservative-window sharded scheduler
     ({!System.create}); output is byte-identical to [shards:1] (asserted
-    in tests and CI).  [shards <= 0] means "default" (unsharded). *)
+    in tests and CI).  [shards <= 0] means "default" (unsharded).
+
+    When [?telemetry] is [true], every multi-shard group created during
+    the run records per-window telemetry ({!M3v_par.Telemetry}) and the
+    merged analyzer report — per-shard imbalance, limiter attribution,
+    critical-path speedup bound — prints to {e stderr} when the run
+    ends.  Stdout is byte-identical with telemetry on or off: telemetry
+    is a pure observer and its tables (which vary with the shard count
+    and carry wall-clock times) stay in the side channel. *)
 
 val fig6 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
@@ -47,7 +55,7 @@ val fig8 :
 
 val fig9 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
-  ?jobs:int -> ?shards:int -> runs:int -> unit -> unit
+  ?telemetry:bool -> ?jobs:int -> ?shards:int -> runs:int -> unit -> unit
 
 val fig10 :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
@@ -71,7 +79,8 @@ val fanin :
     byte-identical across [--jobs] settings. *)
 val load :
   ?trace:string -> ?metrics:string -> ?faults:string -> ?fault_seed:int ->
-  ?jobs:int -> ?shards:int -> cfg:Exp_load.config -> unit -> unit
+  ?telemetry:bool -> ?jobs:int -> ?shards:int -> cfg:Exp_load.config ->
+  unit -> unit
 
 (** Live-migration ablation ({!Exp_migrate}): downtime and exactly-once
     delivery vs message rate, swept clean and under a [mig_abort] fault
@@ -95,8 +104,8 @@ val migrate :
     uninterrupted run's.  Checkpointing is single-seed and incompatible
     with [trace]. *)
 val chaos :
-  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?jobs:int ->
-  ?shards:int -> ?seeds:int -> ?checkpoint_every_ms:int ->
+  ?trace:string -> ?faults:string -> ?fault_seed:int -> ?telemetry:bool ->
+  ?jobs:int -> ?shards:int -> ?seeds:int -> ?checkpoint_every_ms:int ->
   ?checkpoint_file:string -> ?stop_after:int -> ?resume:string ->
   rounds:int -> ops:int -> unit -> unit
 
@@ -105,10 +114,24 @@ val chaos :
     conservative-lookahead scheduler.  Every point runs sequentially and
     sharded and asserts identical results; wall-clock speedup goes to
     stderr.  [chains]/[hops]/[weight] <= 0 and [tiles = []] pick the
-    defaults. *)
+    defaults.  Unlike the System experiments, [?trace] does not force a
+    sequential pool: the sweep itself never fans out tasks, and the
+    scheduler falls back to inline windows under a sink on its own. *)
 val shard_sweep :
-  ?jobs:int -> ?shards:int -> ?seed:int -> chains:int -> hops:int ->
-  weight:int -> tiles:int list -> unit -> unit
+  ?trace:string -> ?metrics:string -> ?telemetry:bool -> ?jobs:int ->
+  ?shards:int -> ?seed:int -> chains:int -> hops:int -> weight:int ->
+  tiles:int list -> unit -> unit
+
+(** Shard report ({!Exp_shard.report}): one sharded run of the same
+    workload with per-window telemetry always enabled, analyzed to
+    stdout — per-shard imbalance, limiter attribution, critical-path
+    speedup bound.  [?trace] writes the per-shard Chrome lanes (window
+    spans and barrier gaps on wall-clock axes, one pid per shard) — not
+    a simulation trace.  [tiles]/[chains]/[hops]/[weight] <= 0 pick the
+    defaults. *)
+val shard_report :
+  ?jobs:int -> ?shards:int -> ?seed:int -> ?trace:string -> tiles:int ->
+  chains:int -> hops:int -> weight:int -> unit -> unit
 
 val table1 : ?trace:string -> unit -> unit
 val complexity : unit -> unit

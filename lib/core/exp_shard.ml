@@ -93,6 +93,17 @@ let build ~tiles ~shards ~chains_per_tile ~hops ~weight ~seed =
   let cluster_of tile = min (tile / cluster_size) (n_clusters - 1) in
   let shard_of tile = cluster_of tile * k / n_clusters in
   let group = Shard.create ~lookahead:inter_latency ~shards:k () in
+  (* Queue-depth trace samples and metric time series per shard engine —
+     but only under a trace sink, which forces inline windows, so every
+     sample lands in the coordinating domain's sink/registry.  Under
+     --metrics alone, windows may run on worker domains whose registry
+     shards restart counters at zero: sampled series would carry
+     shard-local partial sums and break --jobs byte-identity.  The par/*
+     counters themselves merge additively and stay jobs-invariant. *)
+  if M3v_obs.Trace.on () then
+    for i = 0 to Shard.shards group - 1 do
+      M3v_obs.Hooks.attach_engine (Shard.engine group i)
+    done;
   let nchains = tiles * chains_per_tile in
   let state =
     Array.init tiles (fun _ -> { queue = Queue.create (); busy = false })
@@ -209,13 +220,18 @@ type point = {
 
 type result = { points : point list; jobs : int }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+(* Monotonic wall timing (Mono): a clock step mid-measurement can no
+   longer produce negative or inverted speedups. *)
+let timed = M3v_par.Mono.timed
 
-let run_point ?(progress = true) ~pool ~tiles ~shards ~chains_per_tile ~hops
-    ~weight ~seed () =
+(* The one place speedup division is guarded: trivial points can finish
+   inside the clock's resolution, and 0/0 is "n/a", not "0.00x". *)
+let speedup_str ~wall_seq ~wall_par =
+  if wall_par > 1e-9 then Printf.sprintf "%.2fx" (wall_seq /. wall_par)
+  else "n/a"
+
+let run_point ?(progress = true) ?(telemetry = false) ~pool ~tiles ~shards
+    ~chains_per_tile ~hops ~weight ~seed () =
   let build_one ~shards =
     build ~tiles ~shards ~chains_per_tile ~hops ~weight ~seed
   in
@@ -223,6 +239,7 @@ let run_point ?(progress = true) ~pool ~tiles ~shards ~chains_per_tile ~hops
   let seq, wall_seq = timed (fun () -> Shard.run seq_group) in
   let seq = seq_fin seq in
   let par_group, par_fin = build_one ~shards in
+  if telemetry then ignore (Shard.enable_telemetry par_group);
   let par, wall_par = timed (fun () -> Shard.run ~pool par_group) in
   let par = par_fin par in
   let matches =
@@ -234,10 +251,10 @@ let run_point ?(progress = true) ~pool ~tiles ~shards ~chains_per_tile ~hops
   if progress then
     Par.progress
       (Printf.sprintf
-         "shard-sweep: tiles=%d shards=%d wall seq %.3fs par %.3fs (%.2fx) | \
+         "shard-sweep: tiles=%d shards=%d wall seq %.3fs par %.3fs (%s) | \
           windows=%d parallel=%d routed=%d"
          tiles (Shard.shards par_group) wall_seq wall_par
-         (if wall_par > 0.0 then wall_seq /. wall_par else 0.0)
+         (speedup_str ~wall_seq ~wall_par)
          st.Shard.windows st.Shard.parallel_windows st.Shard.messages_routed);
   {
     p_tiles = tiles;
@@ -282,3 +299,49 @@ let print r =
   if List.for_all (fun p -> p.p_match) r.points then
     Format.printf "  sharded == sequential: OK@."
   else Format.printf "  sharded == sequential: MISMATCH@."
+
+(* {1 shard-report} — one sharded run with telemetry enabled, analyzed.
+
+   Unlike the sweep there is no sequential reference: the speedup bound
+   comes from the telemetry critical path (total work / sum of
+   per-window max shard work), which is what the report is for —
+   explaining where parallel headroom goes before burning a second run
+   to measure it.  This analyzer output is the subcommand's deliverable,
+   so it goes to stdout; wall-clock fields make it non-reproducible
+   byte-for-byte by design (simulated results stay deterministic). *)
+
+type report = {
+  rep_tiles : int;
+  rep_shards : int;
+  rep_jobs : int;
+  rep_result : run_result;
+  rep_wall : float;
+  rep_telemetry : M3v_par.Telemetry.t;
+}
+
+let report ?(pool = Par.Pool.sequential) ?(tiles = 256) ?(shards = 4)
+    ?(chains_per_tile = 4) ?(hops = 32) ?(weight = 512) ?(seed = 1) ?cap () =
+  let group, finalize =
+    build ~tiles ~shards ~chains_per_tile ~hops ~weight ~seed
+  in
+  let tm = Shard.enable_telemetry ?cap group in
+  let events, wall = timed (fun () -> Shard.run ~pool group) in
+  {
+    rep_tiles = tiles;
+    rep_shards = Shard.shards group;
+    rep_jobs = Par.Pool.jobs pool;
+    rep_result = finalize events;
+    rep_wall = wall;
+    rep_telemetry = tm;
+  }
+
+let print_report r =
+  let res = r.rep_result in
+  Format.printf "@.Shard report: per-window telemetry for one sharded run@.";
+  Format.printf
+    "  tiles=%d shards=%d jobs=%d | events=%d makespan=%.2fus checksum=%08x \
+     wall=%.3fs@.@."
+    r.rep_tiles r.rep_shards r.rep_jobs res.r_events
+    (Time.to_us res.r_makespan)
+    res.r_checksum r.rep_wall;
+  M3v_par.Telemetry.pp Format.std_formatter r.rep_telemetry

@@ -47,9 +47,14 @@ val run :
 
 (** One sweep point (exposed for tests and the bench harness).
     [progress] (default [true]) prints the wall-clock/speedup line to
-    stderr; benchmarks that call this in a hot loop pass [false]. *)
+    stderr; benchmarks that call this in a hot loop pass [false].
+    [telemetry] (default [false]) enables per-window telemetry on the
+    sharded run — a pure observer, so the point's results are unchanged
+    (asserted by tests); the bench harness uses it to price recording
+    overhead. *)
 val run_point :
   ?progress:bool ->
+  ?telemetry:bool ->
   pool:M3v_par.Par.Pool.t ->
   tiles:int ->
   shards:int ->
@@ -61,3 +66,41 @@ val run_point :
   point
 
 val print : result -> unit
+
+(** {1 shard-report}: one sharded run with telemetry enabled, analyzed
+    (per-shard imbalance, limiter attribution, critical-path speedup
+    bound).  No sequential reference run — the speedup bound comes from
+    the telemetry critical path. *)
+
+type run_result = {
+  r_makespan : M3v_sim.Time.t;
+  r_checksum : int;
+  r_events : int;
+  r_stats : M3v_par.Shard.stats;
+}
+
+type report = {
+  rep_tiles : int;
+  rep_shards : int;  (** effective shard count (clamped to clusters) *)
+  rep_jobs : int;
+  rep_result : run_result;
+  rep_wall : float;
+  rep_telemetry : M3v_par.Telemetry.t;
+}
+
+val report :
+  ?pool:M3v_par.Par.Pool.t ->
+  ?tiles:int ->
+  ?shards:int ->
+  ?chains_per_tile:int ->
+  ?hops:int ->
+  ?weight:int ->
+  ?seed:int ->
+  ?cap:int ->
+  unit ->
+  report
+
+(** Print the run header to stdout, then the {!M3v_par.Telemetry.pp}
+    analyzer tables.  Simulated results are deterministic; wall-clock
+    fields are not (they live only in this report). *)
+val print_report : report -> unit

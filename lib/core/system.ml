@@ -69,6 +69,10 @@ let create ?spec ?topology ?noc_params ?tlb_capacity ?timeslice ?shards ~variant
 let variant t = t.variant
 let engine t = t.engine
 let shards t = match t.sharded with Some g -> M3v_par.Shard.shards g | None -> 1
+let telemetry t = Option.bind t.sharded M3v_par.Shard.telemetry
+
+let reregister_telemetry t =
+  Option.iter M3v_par.Shard.reregister_telemetry t.sharded
 let platform t = t.platform
 let controller t = t.ctrl
 

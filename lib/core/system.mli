@@ -44,6 +44,17 @@ val engine : t -> M3v_sim.Engine.t
 (** Shard-group size the system was built with (1 = plain sequential
     engine). *)
 val shards : t -> int
+
+(** Per-window telemetry of the sharded scheduler, when the system is
+    sharded and telemetry is enabled (see {!M3v_par.Telemetry}); [None]
+    for plain sequential systems. *)
+val telemetry : t -> M3v_par.Telemetry.t option
+
+(** Re-announce a checkpoint-restored system's telemetry to an open
+    collection ({!M3v_par.Shard.reregister_telemetry}): unmarshaled
+    shard groups never passed through [Shard.create].  No-op for
+    unsharded systems. *)
+val reregister_telemetry : t -> unit
 val platform : t -> M3v_tile.Platform.t
 val controller : t -> M3v_kernel.Controller.t
 val runtime : t -> tile:int -> M3v_mux.Runtime.t

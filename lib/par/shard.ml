@@ -56,6 +56,7 @@
 
 module Engine = M3v_sim.Engine
 module Time = M3v_sim.Time
+module Metrics = M3v_obs.Metrics
 
 type 'm pending = {
   p_dst : int;
@@ -77,6 +78,8 @@ type 'm t = {
   mutable windows : int;
   mutable parallel_windows : int;
   mutable routed : int;
+  mutable telem : Telemetry.t option;
+      (* Plain data (see Telemetry): rides along in checkpoints. *)
 }
 
 type stats = { windows : int; parallel_windows : int; messages_routed : int }
@@ -86,18 +89,48 @@ let inf = max_int
 let create ?(parallel_threshold = 64) ~lookahead ~shards () =
   if shards < 1 then invalid_arg "Shard.create: shards < 1";
   if lookahead < 1 then invalid_arg "Shard.create: lookahead < 1";
-  {
-    nshards = shards;
-    lookahead;
-    engines = Array.init shards (fun _ -> Engine.create ());
-    handler = None;
-    out = Array.init shards (fun _ -> ref []);
-    seqs = Array.make shards 0;
-    parallel_threshold;
-    windows = 0;
-    parallel_windows = 0;
-    routed = 0;
-  }
+  let t =
+    {
+      nshards = shards;
+      lookahead;
+      engines = Array.init shards (fun _ -> Engine.create ());
+      handler = None;
+      out = Array.init shards (fun _ -> ref []);
+      seqs = Array.make shards 0;
+      parallel_threshold;
+      windows = 0;
+      parallel_windows = 0;
+      routed = 0;
+      telem = None;
+    }
+  in
+  (* While a telemetry collection is open (--telemetry), every
+     multi-shard group reports into it; single-shard groups are the
+     sequential references inside sweeps and would only add noise. *)
+  if shards > 1 && Telemetry.collecting () then begin
+    let tm = Telemetry.make ~cap:(Telemetry.collector_cap ()) ~shards () in
+    Telemetry.register tm;
+    t.telem <- Some tm
+  end;
+  t
+
+let enable_telemetry ?cap t =
+  match t.telem with
+  | Some tm -> tm
+  | None ->
+      let tm = Telemetry.make ?cap ~shards:t.nshards () in
+      t.telem <- Some tm;
+      tm
+
+let telemetry t = t.telem
+
+(* A checkpoint-resumed group was unmarshaled, not [create]d, so it never
+   met the collector; re-announce its (restored) telemetry if a
+   collection is open. *)
+let reregister_telemetry t =
+  match t.telem with
+  | Some tm when Telemetry.collecting () -> Telemetry.register tm
+  | _ -> ()
 
 let shards t = t.nshards
 let lookahead t = t.lookahead
@@ -180,21 +213,29 @@ let flush t =
 
 let horizon e = match Engine.next_event_time e with None -> inf | Some tm -> tm
 
-(* Smallest and second-smallest horizons (the argmin shard's bound uses
-   the second-smallest: its own events never bound itself). *)
+(* Smallest and second-smallest horizons with their shard indices (the
+   argmin shard's bound uses the second-smallest: its own events never
+   bound itself — and telemetry attributes that bound to the shard that
+   produced it).  Also counts the +inf (null-message) advertisements. *)
 let min2 t =
-  let m1 = ref inf and i1 = ref (-1) and m2 = ref inf in
+  let m1 = ref inf and i1 = ref (-1) and m2 = ref inf and i2 = ref (-1)
+  and nulls = ref 0 in
   Array.iteri
     (fun i e ->
       let h = horizon e in
+      if h = inf then incr nulls;
       if h < !m1 then begin
         m2 := !m1;
+        i2 := !i1;
         m1 := h;
         i1 := i
       end
-      else if h < !m2 then m2 := h)
+      else if h < !m2 then begin
+        m2 := h;
+        i2 := i
+      end)
     t.engines;
-  (!m1, !i1, !m2)
+  (!m1, !i1, !m2, !i2, !nulls)
 
 let add_sat a b = if a >= inf - b then inf else a + b
 
@@ -204,9 +245,16 @@ let may_parallelize () =
 (* One synchronization window: compute per-shard bounds, run every shard
    that has work inside its bound (on the pool when the window is worth a
    barrier, else inline in shard order), then flush the cross-shard
-   messages born in it. *)
+   messages born in it.
+
+   Telemetry is recorded around the existing control flow, never inside
+   its decisions: bounds, the busy set, dispatch, and the merge are
+   computed exactly as without it, so enabling telemetry cannot perturb
+   experiment output.  Per-shard spans are written into disjoint slots of
+   the window record (safe from worker domains; read after the pool
+   barrier); everything else happens on the coordinating domain. *)
 let run_window ~pool ?until ?max_events t =
-  let m1, i1, m2 = min2 t in
+  let m1, i1, m2, i2, nulls = min2 t in
   if m1 = inf then `All_idle
   else
     match until with
@@ -217,18 +265,50 @@ let run_window ~pool ?until ?max_events t =
           let b = add_sat others (t.lookahead - 1) in
           match until with Some u -> Time.min u b | None -> b
         in
+        (* Which shard's horizon produced shard [i]'s bound: the argmin
+           peer (second-argmin for the argmin shard itself), the [until]
+           clamp when it strictly tightens, or nothing at all. *)
+        let limiter i =
+          let others, j = if i = i1 then (m2, i2) else (m1, i1) in
+          let b = add_sat others (t.lookahead - 1) in
+          match until with
+          | Some u when u < b -> Telemetry.limiter_until
+          | _ -> if b = inf then Telemetry.limiter_unbounded else j
+        in
         let busy = ref [] in
         for i = t.nshards - 1 downto 0 do
           if horizon t.engines.(i) <= bound i then busy := i :: !busy
         done;
         let busy = !busy in
+        let wrec =
+          match t.telem with
+          | None -> None
+          | Some tm ->
+              let w = Telemetry.begin_window tm ~seq:t.windows ~nulls in
+              List.iter
+                (fun i ->
+                  Telemetry.set_bound w i ~bound:(bound i) ~limiter:(limiter i))
+                busy;
+              Some w
+        in
         t.windows <- t.windows + 1;
         let run_one i =
           let e = t.engines.(i) in
           let b = bound i in
-          if b = inf then Engine.run ?max_events e
-          else Engine.run ~until:b ?max_events e
+          match wrec with
+          | None ->
+              if b = inf then Engine.run ?max_events e
+              else Engine.run ~until:b ?max_events e
+          | Some w ->
+              Telemetry.shard_begin w i ~sim_now:(Engine.now e);
+              let n =
+                if b = inf then Engine.run ?max_events e
+                else Engine.run ~until:b ?max_events e
+              in
+              Telemetry.shard_end w i ~sim_now:(Engine.now e) ~events:n;
+              n
         in
+        let pooled = ref false in
         let counts =
           let enough_work () =
             List.fold_left
@@ -247,11 +327,33 @@ let run_window ~pool ?until ?max_events t =
             when Par.Pool.jobs pool > 1 && may_parallelize () && enough_work ()
             ->
               t.parallel_windows <- t.parallel_windows + 1;
+              pooled := true;
               Par.all pool (List.map (fun i () -> run_one i) busy)
           | _ :: _ :: _ -> List.map run_one busy
         in
+        let routed0 = t.routed in
         flush t;
-        `Ran (List.fold_left ( + ) 0 counts)
+        let merged = t.routed - routed0 in
+        (match (t.telem, wrec) with
+        | Some tm, Some w -> Telemetry.commit tm w ~pooled:!pooled ~merged
+        | _ -> ());
+        let total = List.fold_left ( + ) 0 counts in
+        (* Standing par/* instruments — independent of telemetry, and
+           restricted to schedule-invariant quantities so metrics output
+           stays byte-identical across --jobs (the dispatch decision is
+           jobs-dependent and reported only through telemetry). *)
+        if Metrics.on () then begin
+          Metrics.counter_incr ~name:"par/windows" ~cat:"par" ();
+          if merged > 0 then
+            Metrics.counter_add ~name:"par/msgs_merged" ~cat:"par"
+              (float_of_int merged);
+          if nulls > 0 then
+            Metrics.counter_add ~name:"par/null_adverts" ~cat:"par"
+              (float_of_int nulls);
+          Metrics.observe ~name:"par/window_events" ~cat:"par"
+            (float_of_int total)
+        end;
+        `Ran total
 
 (* Apply Engine.run's clock rule uniformly at the horizon: every shard
    whose remaining events all lie beyond [u] jumps its clock to [u],

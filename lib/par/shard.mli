@@ -99,3 +99,24 @@ val pending : 'm t -> int
 
 (** Scheduler counters (windows, parallel windows, routed messages). *)
 val stats : 'm t -> stats
+
+(** {1 Telemetry}
+
+    Per-window records and aggregates ({!Telemetry}) — a pure observer:
+    enabling it never changes scheduling decisions or experiment output.
+    While a collection is open ({!Telemetry.start_collecting}, i.e.
+    [--telemetry]), {!create} enables telemetry automatically on every
+    multi-shard group and registers it with the collector; single-shard
+    groups (the sequential references inside sweeps) are skipped. *)
+
+(** Enable telemetry on [t] (idempotent — returns the existing instance
+    if already enabled).  [cap] bounds retained per-window records;
+    aggregates are never capped. *)
+val enable_telemetry : ?cap:int -> 'm t -> Telemetry.t
+
+val telemetry : 'm t -> Telemetry.t option
+
+(** Re-announce a checkpoint-restored group's telemetry to an open
+    collection: unmarshaled groups never passed through {!create}.
+    No-op when telemetry is absent or no collection is open. *)
+val reregister_telemetry : 'm t -> unit

@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("load", Test_load.suite);
       ("shard", Test_shard.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
